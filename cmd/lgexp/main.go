@@ -1,0 +1,100 @@
+// Command lgexp regenerates the paper's tables and figures from the
+// simulated internetwork. Run with no arguments to execute every
+// experiment, or name specific ones:
+//
+//	lgexp                 # everything, paper order
+//	lgexp -exp fig6       # one experiment
+//	lgexp -list           # what exists
+//	lgexp -seed 7 -exp accuracy
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lifeguard/internal/experiments"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "", "comma-separated experiment IDs (default: all paper artifacts)")
+		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead")
+		seed      = flag.Int64("seed", 1, "workload/topology seed")
+		seeds     = flag.Int("seeds", 1, "average headline values over this many consecutive seeds")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Brief)
+		}
+		for _, e := range experiments.Ablations() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Brief)
+		}
+		return
+	}
+
+	var todo []experiments.Experiment
+	switch {
+	case *ablations && *exp == "":
+		todo = experiments.Ablations()
+	case *exp == "":
+		todo = experiments.All()
+	default:
+		for _, id := range strings.Split(*exp, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "lgexp: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
+	}
+
+	for _, e := range todo {
+		start := time.Now()
+		if *seeds <= 1 {
+			fmt.Print(e.Run(*seed).String())
+		} else {
+			printAveraged(e, *seed, *seeds)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// printAveraged runs an experiment across several seeds and reports the
+// mean, min, and max of every headline value — a quick variance check for
+// the topology-dependent results.
+func printAveraged(e experiments.Experiment, base int64, n int) {
+	sums := map[string]float64{}
+	mins := map[string]float64{}
+	maxs := map[string]float64{}
+	var last *experiments.Result
+	for i := 0; i < n; i++ {
+		last = e.Run(base + int64(i))
+		for k, v := range last.Values {
+			sums[k] += v
+			if i == 0 || v < mins[k] {
+				mins[k] = v
+			}
+			if i == 0 || v > maxs[k] {
+				maxs[k] = v
+			}
+		}
+	}
+	fmt.Printf("### %s — %s (averaged over %d seeds)\n\n", last.ID, last.Title, n)
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-40s mean %-10.4f min %-10.4f max %-10.4f\n",
+			k, sums[k]/float64(n), mins[k], maxs[k])
+	}
+}

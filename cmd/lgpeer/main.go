@@ -1,0 +1,175 @@
+// Command lgpeer is a minimal BGP-4 speaker built on the wire/session
+// packages: it can sit as a route collector accepting any number of peers
+// and printing every UPDATE it receives, or dial out and inject
+// LIFEGUARD-style announcements — baselines, poisons, withdrawals — into a
+// real peer such as gobgp or a router configured with a test session.
+//
+//	# terminal 1: collector (accepts any number of peers)
+//	lgpeer -listen 127.0.0.1:1790 -as 65000 -linger 10m
+//
+//	# terminal 2: announce a poisoned path, then withdraw
+//	lgpeer -connect 127.0.0.1:1790 -as 64512 \
+//	       -announce 184.164.240.0/24 -path 64512,3356,64512 \
+//	       -nexthop 198.51.100.1 -hold 30 -linger 5s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lifeguard/internal/bgp/session"
+	"lifeguard/internal/bgp/wire"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", "", "collector mode: accept BGP sessions on this address")
+		connect  = flag.String("connect", "", "dial a BGP peer at this address")
+		localAS  = flag.Uint("as", 64512, "local AS number")
+		routerID = flag.String("id", "198.51.100.1", "BGP identifier")
+		hold     = flag.Duration("hold", 90*time.Second, "proposed hold time")
+		announce = flag.String("announce", "", "prefix to announce (connect mode)")
+		withdraw = flag.String("withdraw", "", "prefix to withdraw (connect mode)")
+		path     = flag.String("path", "", "comma-separated AS path for -announce")
+		nexthop  = flag.String("nexthop", "198.51.100.1", "NEXT_HOP for -announce")
+		linger   = flag.Duration("linger", 10*time.Second, "keep the session up this long")
+	)
+	flag.Parse()
+	if (*listen == "") == (*connect == "") {
+		fmt.Fprintln(os.Stderr, "lgpeer: exactly one of -listen or -connect is required")
+		os.Exit(2)
+	}
+	if err := run(*listen, *connect, uint16(*localAS), *routerID, *hold,
+		*announce, *withdraw, *path, *nexthop, *linger); err != nil {
+		fmt.Fprintln(os.Stderr, "lgpeer:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, connect string, localAS uint16, routerID string, hold time.Duration,
+	announce, withdraw, path, nexthop string, linger time.Duration) error {
+
+	id, err := netip.ParseAddr(routerID)
+	if err != nil {
+		return fmt.Errorf("bad -id: %w", err)
+	}
+
+	if listen != "" {
+		// Collector mode: accept any number of peers and print their
+		// updates until the linger expires.
+		ln, err := net.Listen("tcp", listen)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("collecting on %s as AS%d for %v\n", ln.Addr(), localAS, linger)
+		sv := session.NewServer(session.Config{LocalAS: localAS, RouterID: id, HoldTime: hold})
+		sv.OnSession = func(s *session.Session) {
+			fmt.Printf("session established with AS%d\n", s.Peer().AS)
+		}
+		sv.OnUpdate = func(peerAS uint16, u wire.Update) {
+			for _, p := range u.Withdrawn {
+				fmt.Printf("<- AS%d WITHDRAW %v\n", peerAS, p)
+			}
+			for _, p := range u.NLRI {
+				fmt.Printf("<- AS%d UPDATE %v AS_PATH %v NEXT_HOP %v\n",
+					peerAS, p, u.ASPath, u.NextHop)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), linger)
+		defer cancel()
+		if err := sv.Serve(ctx, ln); err != nil && err != context.DeadlineExceeded {
+			return err
+		}
+		return nil
+	}
+
+	conn, err := net.Dial("tcp", connect)
+	if err != nil {
+		return err
+	}
+	s := session.New(conn, session.Config{LocalAS: localAS, RouterID: id, HoldTime: hold})
+	s.OnUpdate = func(u wire.Update) {
+		for _, p := range u.Withdrawn {
+			fmt.Printf("<- WITHDRAW %v\n", p)
+		}
+		for _, p := range u.NLRI {
+			fmt.Printf("<- UPDATE %v AS_PATH %v NEXT_HOP %v communities %v\n",
+				p, u.ASPath, u.NextHop, u.Communities)
+		}
+	}
+	if err := s.Start(context.Background()); err != nil {
+		return err
+	}
+	defer s.Close()
+	fmt.Printf("established with AS%d (hold %v)\n", s.Peer().AS, s.HoldTime())
+
+	if announce != "" {
+		prefix, err := netip.ParsePrefix(announce)
+		if err != nil {
+			return fmt.Errorf("bad -announce: %w", err)
+		}
+		asPath, err := parsePath(path, localAS)
+		if err != nil {
+			return err
+		}
+		nh, err := netip.ParseAddr(nexthop)
+		if err != nil {
+			return fmt.Errorf("bad -nexthop: %w", err)
+		}
+		u := wire.Update{ASPath: asPath, NextHop: nh, NLRI: []netip.Prefix{prefix}}
+		if err := s.Announce(u); err != nil {
+			return err
+		}
+		fmt.Printf("-> UPDATE %v AS_PATH %v\n", prefix, asPath)
+	}
+	if withdraw != "" {
+		prefix, err := netip.ParsePrefix(withdraw)
+		if err != nil {
+			return fmt.Errorf("bad -withdraw: %w", err)
+		}
+		if err := s.Announce(wire.Update{Withdrawn: []netip.Prefix{prefix}}); err != nil {
+			return err
+		}
+		fmt.Printf("-> WITHDRAW %v\n", prefix)
+	}
+
+	select {
+	case <-s.Done():
+		if err := s.Err(); err != nil {
+			var n wire.Notification
+			if errors.As(err, &n) && n.Code == wire.NotifCease {
+				fmt.Println("peer closed the session (CEASE)")
+				return nil
+			}
+			return err
+		}
+	case <-time.After(linger):
+	}
+	return nil
+}
+
+// parsePath parses "64512,3356,64512"; empty means the plain [localAS].
+func parsePath(s string, localAS uint16) ([]uint16, error) {
+	if s == "" {
+		return []uint16{localAS}, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint16, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseUint(strings.TrimSpace(p), 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad -path element %q: %w", p, err)
+		}
+		out = append(out, uint16(v))
+	}
+	return out, nil
+}

@@ -1,0 +1,81 @@
+// Command lgtopo generates and inspects the synthetic internetworks the
+// experiments run over: AS counts per tier, degree distribution, multihoming
+// rate, and (with -dump) the full relationship list.
+//
+//	lgtopo -seed 1 -transits 40 -stubs 150
+//	lgtopo -seed 1 -dump | head
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/splice"
+	"lifeguard/internal/topo"
+	"lifeguard/internal/topogen"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "generation seed")
+		tier1s   = flag.Int("tier1s", 5, "tier-1 clique size")
+		transits = flag.Int("transits", 40, "transit ASes")
+		stubs    = flag.Int("stubs", 150, "stub ASes")
+		dump     = flag.Bool("dump", false, "dump every AS relationship")
+	)
+	flag.Parse()
+
+	res, err := topogen.Generate(topogen.Config{
+		Seed: *seed, NumTier1: *tier1s, NumTransit: *transits, NumStub: *stubs,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgtopo:", err)
+		os.Exit(1)
+	}
+	top := res.Top
+
+	fmt.Printf("ASes: %d total (%d tier-1, %d transit, %d stub); routers: %d; links: %d\n",
+		top.NumASes(), len(res.Tier1s), len(res.Transit), len(res.Stubs),
+		top.NumRouters(), len(top.Links()))
+
+	var degrees metrics.Sample
+	maxDeg, maxASN := 0, topo.ASN(0)
+	multi := 0
+	for _, asn := range top.ASNs() {
+		d := len(top.Neighbors(asn))
+		degrees.Add(float64(d))
+		if d > maxDeg {
+			maxDeg, maxASN = d, asn
+		}
+	}
+	for _, s := range res.Stubs {
+		if len(top.Providers(s)) >= 2 {
+			multi++
+		}
+	}
+	fmt.Printf("degree: median %.0f, p90 %.0f, max %d (%s)\n",
+		degrees.Median(), degrees.Percentile(90), maxDeg, top.AS(maxASN).Name)
+	fmt.Printf("multihomed stubs: %d/%d (%.0f%%)\n",
+		multi, len(res.Stubs), 100*float64(multi)/float64(len(res.Stubs)))
+
+	// Universal-reachability sanity check from a sample origin.
+	origin := res.Stubs[0]
+	reach := splice.Reach(top, origin, nil)
+	fmt.Printf("valley-free reachability from AS%d: %d/%d ASes\n",
+		origin, len(reach), top.NumASes())
+
+	if *dump {
+		fmt.Println()
+		asns := top.ASNs()
+		sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+		for _, asn := range asns {
+			as := top.AS(asn)
+			fmt.Printf("AS%-5d %-10s tier%d providers=%v peers=%v customers=%v\n",
+				asn, as.Name, as.Tier,
+				top.Providers(asn), top.Peers(asn), top.Customers(asn))
+		}
+	}
+}

@@ -1,0 +1,157 @@
+// Command lifeguardd runs a complete LIFEGUARD deployment over a simulated
+// internetwork: a synthetic Internet is generated, the daemon announces its
+// production and sentinel prefixes, monitors a set of targets, and — as
+// scripted silent failures strike transit networks — detects, isolates, and
+// repairs them with BGP poisoning, unpoisoning when the sentinel sees each
+// failure heal. The event log it prints is the §6 case study generalized.
+//
+//	lifeguardd -seed 1 -hours 6 -failures 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lifeguard"
+	"lifeguard/internal/splice"
+	"lifeguard/internal/topo"
+)
+
+func main() {
+	var (
+		seed     = flag.Int64("seed", 1, "topology and timing seed")
+		hours    = flag.Float64("hours", 6, "virtual hours to simulate")
+		failures = flag.Int("failures", 4, "number of silent failures to script")
+		transits = flag.Int("transits", 15, "transit ASes in the synthetic Internet")
+		stubs    = flag.Int("stubs", 40, "stub ASes in the synthetic Internet")
+	)
+	flag.Parse()
+	if err := run(*seed, *hours, *failures, *transits, *stubs); err != nil {
+		fmt.Fprintln(os.Stderr, "lifeguardd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed int64, hours float64, failures, transits, stubs int) error {
+	n, err := lifeguard.GenerateInternet(lifeguard.InternetConfig{
+		Seed: seed, NumTransit: transits, NumStub: stubs,
+	})
+	if err != nil {
+		return err
+	}
+	origin := n.Gen.Stubs[0]
+	fmt.Printf("internet: %d ASes (%d tier-1, %d transit, %d stub), %d routers\n",
+		n.Top.NumASes(), len(n.Gen.Tier1s), len(n.Gen.Transit), len(n.Gen.Stubs),
+		n.Top.NumRouters())
+	fmt.Printf("origin AS%d announces production %v and sentinel %v\n\n",
+		origin, lifeguard.ProductionPrefix(origin), lifeguard.SentinelPrefix(origin))
+
+	// Monitor a handful of distant stubs, helped by two extra VPs.
+	var targets []lifeguard.Addr
+	targetASes := []lifeguard.ASN{}
+	for _, s := range n.Gen.Stubs[1:] {
+		if len(targets) >= 4 {
+			break
+		}
+		targets = append(targets, n.RouterAddr(n.Hub(s)))
+		targetASes = append(targetASes, s)
+	}
+	vps := []lifeguard.RouterID{
+		n.Hub(origin),
+		n.Hub(n.Gen.Stubs[len(n.Gen.Stubs)-1]),
+		n.Hub(n.Gen.Stubs[len(n.Gen.Stubs)-2]),
+	}
+
+	sys := lifeguard.NewSystem(n, lifeguard.Config{Origin: origin, VPs: vps, Targets: targets})
+	sys.Start()
+	n.Clk.RunFor(5 * time.Minute) // warm baseline + atlas
+
+	// Script the failures: pick avoidable transit hops on the reverse
+	// paths from the targets, break each for a while, heal, repeat.
+	type scripted struct {
+		at, heal time.Duration
+		as       lifeguard.ASN
+		id       lifeguard.FailureID
+	}
+	var script []scripted
+	gap := time.Duration(hours*float64(time.Hour)) / time.Duration(failures+1)
+	for i := 0; i < failures; i++ {
+		tgt := targetASes[i%len(targetASes)]
+		path := n.Eng.ASPathTo(topo.ASN(tgt), lifeguard.ProductionAddr(origin))
+		var victim lifeguard.ASN
+		for _, hop := range path {
+			if hop == topo.ASN(origin) || hop == topo.ASN(tgt) {
+				continue
+			}
+			if splice.CanReach(n.Top, topo.ASN(tgt), topo.ASN(origin), splice.Avoid1(hop)) {
+				victim = lifeguard.ASN(hop)
+				break
+			}
+		}
+		if victim == 0 {
+			continue
+		}
+		at := gap * time.Duration(i+1)
+		script = append(script, scripted{at: at, heal: at + 35*time.Minute, as: victim})
+	}
+
+	for i := range script {
+		sc := &script[i]
+		n.Clk.At(sc.at, func() {
+			sc.id = n.InjectFailure(lifeguard.BlackholeASTowards(sc.as, lifeguard.Block(origin)))
+			fmt.Printf("[%8s] FAULT    AS%d silently drops traffic toward AS%d's prefixes\n",
+				fmtD(n.Clk.Now()), sc.as, origin)
+		})
+		n.Clk.At(sc.heal, func() {
+			n.HealFailure(sc.id)
+			fmt.Printf("[%8s] FIXED    AS%d's fault repaired by its operators\n",
+				fmtD(n.Clk.Now()), sc.as)
+		})
+	}
+
+	end := time.Duration(hours * float64(time.Hour))
+	logged := 0
+	for n.Clk.Now() < end {
+		n.Clk.RunFor(time.Minute)
+		for _, e := range sys.History[logged:] {
+			printEvent(n, e)
+		}
+		logged = len(sys.History)
+	}
+	sys.Stop()
+
+	fmt.Printf("\nsummary: %d outages, %d repairs, %d unpoisons, %d recoveries over %.1f virtual hours\n",
+		len(sys.EventsOfKind(lifeguard.EventOutage)),
+		len(sys.EventsOfKind(lifeguard.EventRepair)),
+		len(sys.EventsOfKind(lifeguard.EventUnpoison)),
+		len(sys.EventsOfKind(lifeguard.EventRecovered)),
+		hours)
+	return nil
+}
+
+func printEvent(n *lifeguard.Network, e lifeguard.Event) {
+	switch e.Kind {
+	case lifeguard.EventOutage:
+		fmt.Printf("[%8s] OUTAGE   vp r%d cannot reach %v\n", fmtD(e.At), e.VP, e.Target)
+	case lifeguard.EventIsolated:
+		rep := e.Report
+		if rep.Healed {
+			fmt.Printf("[%8s] ISOLATE  transient — already healed\n", fmtD(e.At))
+			return
+		}
+		fmt.Printf("[%8s] ISOLATE  %v failure blamed on AS%d (traceroute alone would say AS%d; %d probes, ~%s)\n",
+			fmtD(e.At), rep.Direction, rep.Blamed, rep.TracerouteBlame,
+			rep.ProbesUsed, fmtD(rep.EstimatedDuration))
+	case lifeguard.EventRepair:
+		fmt.Printf("[%8s] REPAIR   %v (avoiding AS%d)\n", fmtD(e.At), e.Action, e.Avoided)
+	case lifeguard.EventRecovered:
+		fmt.Printf("[%8s] RECOVER  traffic to %v restored\n", fmtD(e.At), e.Target)
+	case lifeguard.EventUnpoison:
+		fmt.Printf("[%8s] UNPOISON sentinel saw AS%d heal; baseline announcement restored\n",
+			fmtD(e.At), e.Avoided)
+	}
+}
+
+func fmtD(d time.Duration) string { return d.Round(time.Second).String() }

@@ -1,0 +1,64 @@
+package lifeguard_test
+
+import (
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"lifeguard"
+)
+
+// TestWholeSystemDeterminism replays an identical scenario twice — same
+// seeds, same failure schedule — and requires the complete event history to
+// match event for event, timestamp for timestamp. This is the property that
+// makes every experiment in this repository reproducible.
+func TestWholeSystemDeterminism(t *testing.T) {
+	run := func() []string {
+		n := fig2Network(t)
+		target := n.RouterAddr(n.Hub(asE))
+		sys := lifeguard.NewSystem(n, lifeguard.Config{
+			Origin:  asO,
+			VPs:     []lifeguard.RouterID{n.Hub(asO), n.Hub(asC)},
+			Targets: []netip.Addr{target},
+		})
+		sys.Start()
+		n.Clk.RunFor(2 * time.Minute)
+		fid := n.InjectFailure(lifeguard.BlackholeASTowards(asA, lifeguard.Block(asO)))
+		n.Clk.RunFor(18 * time.Minute)
+		n.HealFailure(fid)
+		n.Clk.RunFor(10 * time.Minute)
+		sys.Stop()
+
+		var log []string
+		for _, e := range sys.History {
+			line := fmt.Sprintf("%v %v vp=%d target=%v avoided=%d action=%v",
+				e.At, e.Kind, e.VP, e.Target, e.Avoided, e.Action)
+			if e.Report != nil {
+				line += fmt.Sprintf(" blamed=%d dir=%v probes=%d",
+					e.Report.Blamed, e.Report.Direction, e.Report.ProbesUsed)
+			}
+			log = append(log, line)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("history lengths differ: %d vs %d\nA: %v\nB: %v", len(a), len(b), a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	// The scenario must have actually exercised the full pipeline.
+	full := false
+	for _, line := range a {
+		if line != "" && len(a) >= 5 {
+			full = true
+		}
+	}
+	if !full {
+		t.Fatalf("scenario too trivial to be a determinism witness: %v", a)
+	}
+}

@@ -1,0 +1,94 @@
+// Selective poisoning: the §5.2 / Fig. 3 technique. The origin has two
+// providers with disjoint paths to a transit A. When the link between A and
+// one of its neighbors fails silently, fully poisoning A would cut off
+// everyone behind it — but poisoning A via only one provider leaves A with
+// the clean announcement heard through the other side, steering A (and only
+// A) off the failing link while everything else keeps its route.
+//
+// This mirrors the paper's UWash/UWisc experiment: shifting traffic off the
+// Internet2-Chicago→WiscNet link by poisoning I2 from Wisconsin only.
+//
+//	go run ./examples/selectivepoison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lifeguard"
+	"lifeguard/internal/core/remedy"
+)
+
+// Fig. 3 cast: O multihomes to D1 and D2. D2 connects straight to A; D1
+// reaches A the long way through B1. C3 is a customer of A whose traffic to
+// O crosses the A–D2 side.
+const (
+	O  lifeguard.ASN = 1
+	D1 lifeguard.ASN = 2
+	D2 lifeguard.ASN = 3
+	A  lifeguard.ASN = 4
+	B1 lifeguard.ASN = 5
+	C3 lifeguard.ASN = 6
+)
+
+func main() {
+	b := lifeguard.NewTopologyBuilder()
+	for _, asn := range []lifeguard.ASN{O, D1, D2, A, B1, C3} {
+		b.AddAS(asn, "")
+		b.AddRouter(asn, "")
+	}
+	for _, r := range [][2]lifeguard.ASN{
+		{O, D1}, {O, D2}, // O's two providers
+		{D1, B1}, {B1, A}, // the long way to A
+		{D2, A}, // the short way to A
+		{C3, A}, // customer behind A
+	} {
+		b.Provider(r[0], r[1])
+		b.ConnectAS(r[0], r[1])
+	}
+	top, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := lifeguard.AssembleNetwork(top, lifeguard.NetworkOptions{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctrl := remedy.New(n.Eng, n.Prober, n.Clk, remedy.Config{Origin: O})
+	ctrl.AnnounceBaseline()
+	n.Converge()
+	show(n, "baseline")
+
+	fmt.Println("\n*** the A→D2 direction fails silently; O steers A off it ***")
+	n.InjectFailure(lifeguard.DropASLink(A, D2))
+
+	// Selective poison: poison A on every provider except D1, so A only
+	// hears the clean path via the D1/B1 side.
+	ctrl.PoisonSelective(A, D1, n.RouterAddr(n.Hub(C3)))
+	n.Converge()
+	show(n, "selective poison")
+
+	// Contrast: a full poison would have cut A and its captives off.
+	ctrl.Unpoison()
+	n.Converge()
+	ctrl.Poison(A, n.RouterAddr(n.Hub(C3)))
+	n.Converge()
+	show(n, "full poison")
+
+	ctrl.Unpoison()
+	n.Converge()
+	show(n, "restored")
+}
+
+func show(n *lifeguard.Network, label string) {
+	fmt.Printf("%-18s", label+":")
+	for _, asn := range []lifeguard.ASN{A, C3, D2} {
+		if r, ok := n.Eng.BestRoute(asn, lifeguard.ProductionPrefix(O)); ok {
+			fmt.Printf("  AS%d->[%v]", asn, r.Path)
+		} else {
+			fmt.Printf("  AS%d->NONE", asn)
+		}
+	}
+	fmt.Println()
+}

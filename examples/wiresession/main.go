@@ -1,0 +1,104 @@
+// Wire session: LIFEGUARD's announcements as real BGP-4 bytes. Two speakers
+// — the LIFEGUARD origin and its upstream provider — establish a BGP
+// session over an in-memory connection (swap in a net.Dial to talk to a
+// real router or gobgp), and the origin drives the paper's announcement
+// sequence on the wire: the prepended baseline, the sentinel, the O-A-O
+// poison, and the post-repair restoration.
+//
+//	go run ./examples/wiresession
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/netip"
+	"time"
+
+	"lifeguard/internal/bgp/session"
+	"lifeguard/internal/bgp/wire"
+)
+
+const (
+	originAS   = 64512 // the LIFEGUARD origin (O)
+	providerAS = 3356  // its upstream mux
+	poisonedAS = 7018  // the AS being avoided (A)
+)
+
+func main() {
+	conn1, conn2 := net.Pipe()
+
+	origin := session.New(conn1, session.Config{
+		LocalAS:  originAS,
+		RouterID: netip.MustParseAddr("198.51.100.1"),
+		HoldTime: 30 * time.Second,
+	})
+	provider := session.New(conn2, session.Config{
+		LocalAS:  providerAS,
+		RouterID: netip.MustParseAddr("198.51.100.2"),
+		HoldTime: 30 * time.Second,
+	})
+
+	received := make(chan wire.Update, 16)
+	provider.OnUpdate = func(u wire.Update) { received <- u }
+
+	errs := make(chan error, 2)
+	go func() { errs <- origin.Start(context.Background()) }()
+	go func() { errs <- provider.Start(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			log.Fatal(err)
+		}
+	}
+	defer origin.Close()
+	defer provider.Close()
+	fmt.Printf("session established: local AS%d <-> peer AS%d, hold %v\n\n",
+		originAS, origin.Peer().AS, origin.HoldTime())
+
+	production := netip.MustParsePrefix("184.164.240.0/24")
+	sentinel := netip.MustParsePrefix("184.164.240.0/23")
+	nextHop := netip.MustParseAddr("198.51.100.1")
+
+	announce := func(what string, u wire.Update) {
+		if err := origin.Announce(u); err != nil {
+			log.Fatal(err)
+		}
+		got := <-received
+		raw, _ := wire.Marshal(got)
+		fmt.Printf("%s\n  NLRI %v  AS_PATH %v  (%d bytes on the wire)\n\n",
+			what, got.NLRI, got.ASPath, len(raw))
+	}
+
+	// 1. Steady state: prepended baseline O-O-O plus the sentinel.
+	announce("baseline production announcement (O-O-O):", wire.Update{
+		ASPath:  []uint16{originAS, originAS, originAS},
+		NextHop: nextHop,
+		NLRI:    []netip.Prefix{production},
+	})
+	announce("sentinel announcement (less-specific /23):", wire.Update{
+		ASPath:  []uint16{originAS, originAS, originAS},
+		NextHop: nextHop,
+		NLRI:    []netip.Prefix{sentinel},
+	})
+
+	// 2. Failure isolated to AS 7018: poison it. Same length, same next
+	//    hop — unaffected networks converge in one update.
+	announce("POISONED announcement (O-A-O, avoiding AS7018):", wire.Update{
+		ASPath:      []uint16{originAS, poisonedAS, originAS},
+		NextHop:     nextHop,
+		NLRI:        []netip.Prefix{production},
+		Communities: []uint32{uint32(originAS)<<16 | 666}, // ops tag
+	})
+
+	// 3. Sentinel sees the failure heal: restore the baseline.
+	announce("restored baseline after repair:", wire.Update{
+		ASPath:  []uint16{originAS, originAS, originAS},
+		NextHop: nextHop,
+		NLRI:    []netip.Prefix{production},
+	})
+
+	sent, _ := origin.Counts()
+	_, recv := provider.Counts()
+	fmt.Printf("updates sent by origin: %d, received by provider: %d\n", sent, recv)
+}

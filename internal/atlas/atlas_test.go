@@ -1,0 +1,178 @@
+package atlas
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/nettest"
+	"lifeguard/internal/topo"
+)
+
+func setup(t *testing.T, cfg Config) (*nettest.Net, *Atlas) {
+	t.Helper()
+	n := nettest.Fig4(t)
+	a := New(n.Top, n.Prober, n.Clk, cfg)
+	a.AddVP(n.Hub(nettest.VP1AS))
+	a.AddTarget(n.Top.Router(n.Hub(nettest.TargetAS)).Addr)
+	return n, a
+}
+
+func TestRefreshRecordsBothDirections(t *testing.T) {
+	n, a := setup(t, Config{})
+	vp := n.Hub(nettest.VP1AS)
+	target := n.Top.Router(n.Hub(nettest.TargetAS)).Addr
+	a.RefreshAll()
+	fwd := a.Forward(vp, target)
+	if len(fwd) != 1 || !fwd[0].Reached {
+		t.Fatalf("forward records = %+v", fwd)
+	}
+	if got := fwd[0].ASPath(); !got.Equal(topo.Path{1, 2, 3, 4}) {
+		t.Fatalf("forward AS path = %v", got)
+	}
+	rev := a.Reverse(vp, target)
+	if len(rev) != 1 || !rev[0].Reached {
+		t.Fatalf("reverse records = %+v", rev)
+	}
+	if got := rev[0].ASPath(); !got.Equal(topo.Path{4, 3, 2, 1}) {
+		t.Fatalf("reverse AS path = %v", got)
+	}
+}
+
+func TestResponsivenessDB(t *testing.T) {
+	n, a := setup(t, Config{})
+	hub2 := n.Hub(nettest.TransitA)
+	if a.EverResponsive(n.Top.Router(hub2).Addr) {
+		t.Fatal("nothing probed yet")
+	}
+	a.RefreshAll()
+	if !a.EverResponsive(n.Top.Router(hub2).Addr) {
+		t.Fatal("transit hub should be recorded responsive")
+	}
+	// A configured-silent router never becomes responsive.
+	silent := n.Hub(nettest.TransitB)
+	n.Top.Router(silent).Responsive = false
+	a2 := New(n.Top, n.Prober, n.Clk, Config{})
+	a2.AddVP(n.Hub(nettest.VP1AS))
+	a2.AddTarget(n.Top.Router(n.Hub(nettest.TargetAS)).Addr)
+	a2.RefreshAll()
+	if a2.EverResponsive(n.Top.Router(silent).Addr) {
+		t.Fatal("silent router must not be marked responsive")
+	}
+}
+
+func TestHistoricalHopsUnion(t *testing.T) {
+	n, a := setup(t, Config{})
+	a.RefreshAll()
+	vp := n.Hub(nettest.VP1AS)
+	target := n.Top.Router(n.Hub(nettest.TargetAS)).Addr
+	hops := a.HistoricalHops(vp, target)
+	if len(hops) == 0 {
+		t.Fatal("no historical hops")
+	}
+	seen := map[topo.RouterID]int{}
+	for _, h := range hops {
+		seen[h.Router]++
+		if seen[h.Router] > 1 {
+			t.Fatalf("duplicate hop %d", h.Router)
+		}
+	}
+	// Hops from both directions should appear; the reverse path's
+	// ingress into AS3 differs from the forward egress, so the union is
+	// strictly bigger than either single path.
+	fwd := a.Forward(vp, target)[0]
+	if len(hops) <= len(fwd.Hops)-1 {
+		t.Fatalf("union %d not larger than forward %d", len(hops), len(fwd.Hops))
+	}
+}
+
+func TestMaxHistoryBound(t *testing.T) {
+	n, a := setup(t, Config{MaxHistory: 3})
+	for i := 0; i < 6; i++ {
+		a.RefreshAll()
+		n.Clk.RunFor(time.Minute)
+	}
+	vp := n.Hub(nettest.VP1AS)
+	target := n.Top.Router(n.Hub(nettest.TargetAS)).Addr
+	if got := len(a.Forward(vp, target)); got != 3 {
+		t.Fatalf("history length = %d, want 3", got)
+	}
+	recs := a.Forward(vp, target)
+	for i := 1; i < len(recs); i++ {
+		if recs[i].At < recs[i-1].At {
+			t.Fatal("history out of order")
+		}
+	}
+}
+
+func TestAmortizedRefreshCost(t *testing.T) {
+	_, a := setup(t, Config{FullMeasureCost: 35})
+	a.RefreshAll() // first measurement: full cost
+	first := a.pr.ResetSent()
+	a.RefreshAll() // unchanged path: incremental cost only
+	second := a.pr.ResetSent()
+	if second >= first {
+		t.Fatalf("steady-state refresh (%d probes) should be cheaper than initial (%d)", second, first)
+	}
+}
+
+func TestPeriodicRefreshAndStop(t *testing.T) {
+	n, a := setup(t, Config{RefreshInterval: 10 * time.Minute})
+	a.Start()
+	n.Clk.RunUntil(35 * time.Minute)
+	if a.PathsRefreshed != 4 { // t=0,10,20,30
+		t.Fatalf("PathsRefreshed = %d, want 4", a.PathsRefreshed)
+	}
+	a.Stop()
+	n.Clk.RunUntil(2 * time.Hour)
+	if a.PathsRefreshed != 4 {
+		t.Fatalf("refresh continued after Stop: %d", a.PathsRefreshed)
+	}
+}
+
+func TestLatestReverseBefore(t *testing.T) {
+	n, a := setup(t, Config{})
+	vp := n.Hub(nettest.VP1AS)
+	target := n.Top.Router(n.Hub(nettest.TargetAS)).Addr
+	base := n.Clk.Now()
+	a.RefreshAll() // at base
+	n.Clk.RunFor(10 * time.Minute)
+	a.RefreshAll() // at base+10m
+	n.Clk.RunFor(10 * time.Minute)
+	recs := a.LatestReverseBefore(vp, target, base+5*time.Minute)
+	if len(recs) != 1 || recs[0].At != base {
+		t.Fatalf("records before base+5m = %+v", recs)
+	}
+	recs = a.LatestReverseBefore(vp, target, base+15*time.Minute)
+	if len(recs) != 2 || recs[0].At != base+10*time.Minute {
+		t.Fatalf("records before base+15m not newest-first: %+v", recs)
+	}
+}
+
+func TestReverseRefreshFailsDuringFailure(t *testing.T) {
+	n, a := setup(t, Config{})
+	a.RefreshAll()
+	n.ReverseFailure()
+	before := a.PathsRefreshed
+	a.RefreshAll()
+	if a.PathsRefreshed != before {
+		t.Fatal("reverse refresh should fail during reverse-path failure")
+	}
+	// Forward record is still appended (with stars past the horizon).
+	vp := n.Hub(nettest.VP1AS)
+	target := n.Top.Router(n.Hub(nettest.TargetAS)).Addr
+	fwd := a.Forward(vp, target)
+	lastRec := fwd[len(fwd)-1]
+	if lastRec.Reached {
+		t.Fatal("forward traceroute should not complete during failure")
+	}
+}
+
+func TestRefreshRate(t *testing.T) {
+	n, a := setup(t, Config{RefreshInterval: time.Minute})
+	a.Start()
+	n.Clk.RunUntil(10 * time.Minute)
+	rate := a.RefreshRatePerMinute()
+	if rate < 0.9 || rate > 1.3 {
+		t.Fatalf("refresh rate = %v paths/min, want ~1.1", rate)
+	}
+}

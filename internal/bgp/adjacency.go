@@ -1,0 +1,74 @@
+package bgp
+
+import (
+	"fmt"
+	"net/netip"
+
+	"lifeguard/internal/topo"
+)
+
+// Adjacency (session) failures. Unlike the silent data-plane failures
+// LIFEGUARD exists for, a failed BGP session is *visible* to the protocol:
+// both sides withdraw everything learned over it and the Internet
+// re-converges on its own. These produce the short, self-healing outages
+// that dominate Fig. 1's event count (while contributing little downtime) —
+// exactly the class the §4.2 maturity threshold avoids poisoning.
+
+// SetAdjacencyDown fails or restores the BGP session between adjacent ASes
+// a and b. On failure each side drops every route learned from the other
+// and stops exporting to it; on restore each side re-advertises its full
+// table. The topology relationship itself is untouched.
+//
+// Note this affects only the control plane; callers modelling a physical
+// link cut should also install the matching data-plane rules (the facade's
+// Network.FailAdjacency does both).
+func (e *Engine) SetAdjacencyDown(a, b topo.ASN, down bool) {
+	if !e.top.Adjacent(a, b) {
+		panic(fmt.Sprintf("bgp: SetAdjacencyDown(%d, %d): not adjacent", a, b))
+	}
+	e.speakers[a].setNeighborDown(b, down)
+	e.speakers[b].setNeighborDown(a, down)
+}
+
+// AdjacencyDown reports whether the session between a and b is failed.
+func (e *Engine) AdjacencyDown(a, b topo.ASN) bool {
+	return e.speakers[a].downNbrs[b]
+}
+
+func (s *Speaker) setNeighborDown(n topo.ASN, down bool) {
+	if s.downNbrs[n] == down {
+		return
+	}
+	if down {
+		s.downNbrs[n] = true
+		// Session loss: everything learned from n evaporates at once,
+		// and our send state toward n resets (no withdrawals cross a
+		// dead session).
+		st := s.out[n]
+		clear(st.pending)
+		clear(st.lastAdv)
+		var changed []netip.Prefix
+		for prefix, m := range s.adjIn {
+			if m[n] != nil {
+				delete(m, n)
+				changed = append(changed, prefix)
+			}
+		}
+		for _, prefix := range changed {
+			if s.decide(prefix) {
+				s.markAllPending(prefix)
+			}
+		}
+		return
+	}
+	delete(s.downNbrs, n)
+	// Session re-established: advertise the full table to n.
+	st := s.out[n]
+	for prefix := range s.best {
+		st.pending[prefix] = true
+	}
+	for prefix := range s.origin {
+		st.pending[prefix] = true
+	}
+	s.kick(n)
+}

@@ -1,0 +1,173 @@
+package bgp
+
+import (
+	"testing"
+
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+)
+
+// commTopo: origin 1 customer of 2; 2 peers 3; 2 customer of 4; 5 customer
+// of 2 (so 2 has a customer to export to regardless).
+func commTopo(t *testing.T) *topo.Topology {
+	t.Helper()
+	b := topo.NewBuilder()
+	for asn := topo.ASN(1); asn <= 5; asn++ {
+		b.AddAS(asn, "")
+	}
+	b.Provider(1, 2)
+	b.Peer(2, 3)
+	b.Provider(2, 4)
+	b.Provider(5, 2)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func commEngine(t *testing.T, top *topo.Topology) *Engine {
+	t.Helper()
+	clk := simclock.New()
+	return New(top, clk, Config{Seed: 8})
+}
+
+const commNoPeers Community = 0x0002_0001 // "2: don't export to peers"
+
+func TestActionNoExportToPeers(t *testing.T) {
+	top := commTopo(t)
+	e := commEngine(t, top)
+	e.SetCommunityAction(2, commNoPeers, ActionNoExportToPeers)
+	p := topo.ProductionPrefix(1)
+	e.Announce(1, p, OriginConfig{Communities: []Community{commNoPeers}})
+	if !e.Converge(5_000_000) {
+		t.Fatal("no convergence")
+	}
+	if _, ok := e.BestRoute(3, p); ok {
+		t.Fatal("peer 3 should not receive the tagged route")
+	}
+	// Customers and providers still do.
+	if _, ok := e.BestRoute(4, p); !ok {
+		t.Fatal("provider 4 should receive the route")
+	}
+	if _, ok := e.BestRoute(5, p); !ok {
+		t.Fatal("customer 5 should receive the route")
+	}
+	// Untagged announcements export normally.
+	e.Announce(1, p, OriginConfig{})
+	e.Converge(5_000_000)
+	if _, ok := e.BestRoute(3, p); !ok {
+		t.Fatal("untagged route should reach the peer")
+	}
+}
+
+func TestActionNoExportToProviders(t *testing.T) {
+	top := commTopo(t)
+	e := commEngine(t, top)
+	e.SetCommunityAction(2, commNoPeers, ActionNoExportToProviders)
+	p := topo.ProductionPrefix(1)
+	e.Announce(1, p, OriginConfig{Communities: []Community{commNoPeers}})
+	e.Converge(5_000_000)
+	if _, ok := e.BestRoute(4, p); ok {
+		t.Fatal("provider 4 should not receive the tagged route")
+	}
+	if _, ok := e.BestRoute(3, p); !ok {
+		t.Fatal("peer 3 should receive the route")
+	}
+}
+
+func TestActionNoExport(t *testing.T) {
+	top := commTopo(t)
+	e := commEngine(t, top)
+	e.SetCommunityAction(2, commNoPeers, ActionNoExport)
+	p := topo.ProductionPrefix(1)
+	e.Announce(1, p, OriginConfig{Communities: []Community{commNoPeers}})
+	e.Converge(5_000_000)
+	for _, asn := range []topo.ASN{3, 4, 5} {
+		if _, ok := e.BestRoute(asn, p); ok {
+			t.Fatalf("AS%d should not receive a NO_EXPORT route", asn)
+		}
+	}
+	if _, ok := e.BestRoute(2, p); !ok {
+		t.Fatal("AS2 itself keeps the route")
+	}
+}
+
+func TestActionLowerPref(t *testing.T) {
+	// Diamond: 1 -> 2 directly and 1 -> 5 -> 2, so AS2 holds two
+	// customer routes for the prefix and normally prefers the shorter
+	// direct one.
+	b := topo.NewBuilder()
+	for asn := topo.ASN(1); asn <= 5; asn++ {
+		b.AddAS(asn, "")
+	}
+	b.Provider(1, 2)
+	b.Provider(1, 5)
+	b.Provider(5, 2)
+	b.Provider(3, 2) // extra customer to observe 2's export
+	b.Provider(4, 3) // and one below it
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := commEngine(t, top)
+	const backup Community = 0x0002_00FF
+	e.SetCommunityAction(2, backup, ActionLowerPref)
+	p := topo.ProductionPrefix(1)
+
+	// Baseline: 2 prefers the direct (shorter) customer route from 1.
+	e.Announce(1, p, OriginConfig{})
+	e.Converge(5_000_000)
+	r, _ := e.BestRoute(2, p)
+	if nh, _ := r.NextHop(); nh != 1 {
+		t.Fatalf("baseline next hop = %d, want 1", nh)
+	}
+
+	// Tag the announcement as backup on the direct session only (the
+	// session-scoped form operators actually use): 2 demotes it below
+	// the longer path via 5.
+	e.Announce(1, p, OriginConfig{
+		PerNeighborCommunities: map[topo.ASN][]Community{2: {backup}},
+	})
+	e.Converge(5_000_000)
+	r, ok := e.BestRoute(2, p)
+	if !ok {
+		t.Fatal("2 lost the route")
+	}
+	if nh, _ := r.NextHop(); nh != 5 {
+		t.Fatalf("tagged next hop = %d, want 5 (backup demotion)", nh)
+	}
+}
+
+// TestCommunitiesDoNotCrossTier1s reproduces the §2.3 negative finding: an
+// action community aimed at an AS beyond a community-stripping Tier-1 never
+// arrives, so remote traffic engineering via communities fails.
+func TestCommunitiesDoNotCrossTier1s(t *testing.T) {
+	// 1 -> 2 (tier1, strips) -> 3 (defines the action) chain of customers.
+	b := topo.NewBuilder()
+	for asn := topo.ASN(1); asn <= 3; asn++ {
+		b.AddAS(asn, "")
+	}
+	b.Provider(1, 2)
+	b.Provider(2, 3)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	top.AS(2).StripCommunities = true
+	e := commEngine(t, top)
+	const remote Community = 0x0003_0001
+	e.SetCommunityAction(3, remote, ActionNoExport)
+	p := topo.ProductionPrefix(1)
+	e.Announce(1, p, OriginConfig{Communities: []Community{remote}})
+	e.Converge(5_000_000)
+	// AS3 never saw the community (stripped at 2), so the action never
+	// fired and the route is plain at 3.
+	r, ok := e.BestRoute(3, p)
+	if !ok {
+		t.Fatal("3 should have the route")
+	}
+	if len(r.Communities) != 0 {
+		t.Fatalf("community crossed the stripping Tier-1: %v", r.Communities)
+	}
+}

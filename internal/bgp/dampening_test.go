@@ -1,0 +1,142 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+)
+
+// dampNet: 1 (origin) customer of 2, 2 customer of 3. Dampening enabled.
+func dampNet(t *testing.T) (*Engine, *simclock.Scheduler) {
+	t.Helper()
+	b := topo.NewBuilder()
+	for asn := topo.ASN(1); asn <= 3; asn++ {
+		b.AddAS(asn, "")
+	}
+	b.Provider(1, 2)
+	b.Provider(2, 3)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	e := New(top, clk, Config{Seed: 5, Dampening: DampeningConfig{Enabled: true}})
+	return e, clk
+}
+
+func flapOnce(e *Engine, p topo.Path) {
+	prefix := topo.ProductionPrefix(1)
+	e.Announce(1, prefix, OriginConfig{Pattern: p})
+	e.Converge(5_000_000)
+}
+
+func TestRapidFlappingTriggersSuppression(t *testing.T) {
+	e, clk := dampNet(t)
+	prefix := topo.ProductionPrefix(1)
+	base := topo.Path{1, 1, 1}
+	poison := topo.Path{1, 9, 1} // poison some non-local AS
+	flapOnce(e, base)
+	// Flap every two minutes: penalties accumulate far faster than the
+	// 15-minute half-life can shed them.
+	for i := 0; i < 4; i++ {
+		clk.RunFor(2 * time.Minute)
+		if i%2 == 0 {
+			flapOnce(e, poison)
+		} else {
+			flapOnce(e, base)
+		}
+	}
+	if !e.Speaker(2).Suppressed(1, prefix) {
+		t.Fatalf("AS2 should have suppressed the flapping prefix (penalty %.0f)",
+			e.Speaker(2).Penalty(1, prefix))
+	}
+	// Suppression removes the route upstream too.
+	if _, ok := e.BestRoute(3, prefix); ok {
+		t.Fatal("AS3 should lose the route while AS2 suppresses it")
+	}
+}
+
+func TestSuppressedRouteReusedAfterDecay(t *testing.T) {
+	e, clk := dampNet(t)
+	prefix := topo.ProductionPrefix(1)
+	flapOnce(e, topo.Path{1, 1, 1})
+	for i := 0; i < 4; i++ {
+		clk.RunFor(time.Minute)
+		flapOnce(e, topo.Path{1, topo.ASN(8 + i%2), 1})
+	}
+	if !e.Speaker(2).Suppressed(1, prefix) {
+		t.Fatal("setup: not suppressed")
+	}
+	// Stop flapping; within a few half-lives the penalty decays below
+	// the reuse threshold and the route returns everywhere.
+	clk.RunFor(90 * time.Minute)
+	e.Converge(5_000_000)
+	if e.Speaker(2).Suppressed(1, prefix) {
+		t.Fatalf("still suppressed after decay (penalty %.0f)", e.Speaker(2).Penalty(1, prefix))
+	}
+	if _, ok := e.BestRoute(3, prefix); !ok {
+		t.Fatal("route did not return after reuse")
+	}
+}
+
+// TestLifeguardPacingAvoidsDampening verifies the §5 operational rule: one
+// poison/unpoison cycle per 90 minutes never accumulates enough penalty to
+// be suppressed.
+func TestLifeguardPacingAvoidsDampening(t *testing.T) {
+	e, clk := dampNet(t)
+	prefix := topo.ProductionPrefix(1)
+	flapOnce(e, topo.Path{1, 1, 1})
+	for cycle := 0; cycle < 4; cycle++ {
+		clk.RunFor(90 * time.Minute)
+		flapOnce(e, topo.Path{1, 9, 1}) // poison
+		clk.RunFor(90 * time.Minute)
+		flapOnce(e, topo.Path{1, 1, 1}) // unpoison
+		if e.Speaker(2).Suppressed(1, prefix) {
+			t.Fatalf("cycle %d: paced announcements got suppressed", cycle)
+		}
+	}
+	if _, ok := e.BestRoute(3, prefix); !ok {
+		t.Fatal("route lost despite pacing")
+	}
+}
+
+func TestDampeningDisabledByDefault(t *testing.T) {
+	b := topo.NewBuilder()
+	b.AddAS(1, "")
+	b.AddAS(2, "")
+	b.Provider(1, 2)
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	e := New(top, clk, Config{Seed: 1})
+	prefix := topo.ProductionPrefix(1)
+	for i := 0; i < 10; i++ {
+		e.Announce(1, prefix, OriginConfig{Pattern: topo.Path{1, topo.ASN(5 + i%3), 1}})
+		e.Converge(5_000_000)
+		clk.RunFor(time.Minute)
+	}
+	if e.Speaker(2).Suppressed(1, prefix) {
+		t.Fatal("dampening should be off by default")
+	}
+	if _, ok := e.BestRoute(2, prefix); !ok {
+		t.Fatal("route missing")
+	}
+}
+
+func TestPenaltyDecay(t *testing.T) {
+	st := dampState{penalty: 2000, updatedAt: 0}
+	half := 15 * time.Minute
+	if got := st.decayedPenalty(15*time.Minute, half); got < 990 || got > 1010 {
+		t.Fatalf("one half-life: %v", got)
+	}
+	if got := st.decayedPenalty(30*time.Minute, half); got < 495 || got > 505 {
+		t.Fatalf("two half-lives: %v", got)
+	}
+	if got := st.decayedPenalty(0, half); got != 2000 {
+		t.Fatalf("no time: %v", got)
+	}
+}

@@ -1,0 +1,234 @@
+package bgp
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"time"
+
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+)
+
+// Engine owns one Speaker per AS and drives protocol dynamics over a
+// simclock.Scheduler.
+type Engine struct {
+	top      *topo.Topology
+	clk      *simclock.Scheduler
+	cfg      Config
+	rng      *rand.Rand
+	speakers map[topo.ASN]*Speaker
+
+	// OnBestChange, if set, observes every loc-RIB change engine-wide.
+	OnBestChange func(BestChange)
+
+	// OnOriginChange, if set, observes every Announce/Withdraw an origin
+	// makes (cfg is nil for withdrawals). The wire bridge uses it to
+	// mirror crafted announcements onto real sessions.
+	OnOriginChange func(asn topo.ASN, prefix netip.Prefix, cfg *OriginConfig)
+
+	// pendingEvents counts scheduled BGP events (message deliveries and
+	// armed MRAI timers); zero means the control plane is quiescent.
+	pendingEvents int
+
+	// UpdatesSent counts announcements+withdrawals sent per AS, the raw
+	// material for the Table 2 update-load analysis.
+	UpdatesSent map[topo.ASN]int
+
+	// lastDelivery enforces in-order message delivery per directed AS
+	// pair despite jittered propagation delays.
+	lastDelivery map[[2]topo.ASN]time.Duration
+}
+
+// New builds an engine over the topology. No routes exist until Originate or
+// Announce is called.
+func New(top *topo.Topology, clk *simclock.Scheduler, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	e := &Engine{
+		top:          top,
+		clk:          clk,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		speakers:     make(map[topo.ASN]*Speaker, top.NumASes()),
+		UpdatesSent:  make(map[topo.ASN]int),
+		lastDelivery: make(map[[2]topo.ASN]time.Duration),
+	}
+	for _, asn := range top.ASNs() {
+		e.speakers[asn] = newSpeaker(e, asn)
+	}
+	return e
+}
+
+// Topology returns the topology the engine routes over.
+func (e *Engine) Topology() *topo.Topology { return e.top }
+
+// Clock returns the scheduler driving the engine.
+func (e *Engine) Clock() *simclock.Scheduler { return e.clk }
+
+// Speaker returns the speaker for asn, or nil if the AS does not exist.
+func (e *Engine) Speaker(asn topo.ASN) *Speaker { return e.speakers[asn] }
+
+// Originate announces prefix from asn with the plain [asn] path.
+func (e *Engine) Originate(asn topo.ASN, prefix netip.Prefix) {
+	e.Announce(asn, prefix, OriginConfig{})
+}
+
+// Announce installs (or replaces) the origin configuration for prefix at asn
+// and propagates the resulting updates. Use it for baseline prepending,
+// poisoning, selective poisoning, and selective advertising alike.
+func (e *Engine) Announce(asn topo.ASN, prefix netip.Prefix, cfg OriginConfig) {
+	s := e.speakers[asn]
+	if s == nil {
+		panic(fmt.Sprintf("bgp: Announce from unknown AS %d", asn))
+	}
+	if err := validatePattern(asn, cfg.Pattern); err != nil {
+		panic(err)
+	}
+	for n, p := range cfg.PerNeighbor {
+		if err := validatePattern(asn, p); err != nil {
+			panic(fmt.Errorf("per-neighbor %d: %w", n, err))
+		}
+	}
+	s.announce(prefix, cfg)
+	if e.OnOriginChange != nil {
+		e.OnOriginChange(asn, prefix, &cfg)
+	}
+}
+
+// validatePattern enforces the §3.1.1 conventions: the origin must be both
+// the first AS (next hop for neighbors) and the last AS (registered origin).
+func validatePattern(self topo.ASN, p topo.Path) error {
+	if p == nil {
+		return nil
+	}
+	if len(p) == 0 {
+		return fmt.Errorf("bgp: empty path pattern for AS %d", self)
+	}
+	if p[0] != self || p[len(p)-1] != self {
+		return fmt.Errorf("bgp: pattern %v must start and end with origin %d", p, self)
+	}
+	return nil
+}
+
+// Withdraw removes asn's origin configuration for prefix and propagates
+// withdrawals.
+func (e *Engine) Withdraw(asn topo.ASN, prefix netip.Prefix) {
+	s := e.speakers[asn]
+	if s == nil {
+		return
+	}
+	s.withdrawOrigin(prefix)
+	if e.OnOriginChange != nil {
+		e.OnOriginChange(asn, prefix, nil)
+	}
+}
+
+// BestRoute returns asn's selected route for an exact prefix.
+func (e *Engine) BestRoute(asn topo.ASN, prefix netip.Prefix) (*Route, bool) {
+	s := e.speakers[asn]
+	if s == nil {
+		return nil, false
+	}
+	r, ok := s.best[prefix]
+	return r, ok
+}
+
+// Lookup performs longest-prefix match for addr in asn's loc-RIB.
+func (e *Engine) Lookup(asn topo.ASN, addr netip.Addr) (*Route, bool) {
+	s := e.speakers[asn]
+	if s == nil || !addr.Is4() {
+		return nil, false
+	}
+	for bits := 32; bits >= 8; bits-- {
+		p, err := addr.Prefix(bits)
+		if err != nil {
+			return nil, false
+		}
+		if r, ok := s.best[p]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// ASPathTo returns asn's current AS-level path toward addr (LPM), nil if it
+// has no route. The returned path is the RIB path, poisons included.
+func (e *Engine) ASPathTo(asn topo.ASN, addr netip.Addr) topo.Path {
+	r, ok := e.Lookup(asn, addr)
+	if !ok {
+		return nil
+	}
+	return r.Path.Clone()
+}
+
+// Quiescent reports whether no BGP messages or MRAI flushes are pending.
+func (e *Engine) Quiescent() bool { return e.pendingEvents == 0 }
+
+// Converge steps the scheduler until the control plane is quiescent or the
+// step budget is exhausted; it reports whether quiescence was reached. Other
+// scheduled events (monitors, probes) run as encountered.
+func (e *Engine) Converge(maxSteps int) bool {
+	for i := 0; i < maxSteps; i++ {
+		if e.Quiescent() {
+			return true
+		}
+		if !e.clk.Step() {
+			return e.Quiescent()
+		}
+	}
+	return e.Quiescent()
+}
+
+// jittered returns d scaled by a uniform factor in [1-j, 1+j].
+func (e *Engine) jittered(d time.Duration, j float64) time.Duration {
+	if j <= 0 {
+		return d
+	}
+	f := 1 + j*(2*e.rng.Float64()-1)
+	return time.Duration(float64(d) * f)
+}
+
+// deliver schedules u from "from" to "to", preserving per-pair FIFO order.
+func (e *Engine) deliver(from, to topo.ASN, u update) {
+	e.UpdatesSent[from]++
+	at := e.clk.Now() + e.jittered(e.cfg.PropDelay, e.cfg.PropJitter)
+	key := [2]topo.ASN{from, to}
+	if last := e.lastDelivery[key]; at <= last {
+		at = last + time.Microsecond
+	}
+	e.lastDelivery[key] = at
+	dst := e.speakers[to]
+	e.pendingEvents++
+	e.clk.At(at, func() {
+		e.pendingEvents--
+		if dst.downNbrs[from] {
+			return // the session died while the message was in flight
+		}
+		dst.receive(from, u)
+	})
+}
+
+// armMRAI schedules fn after one jittered MRAI interval.
+func (e *Engine) armMRAI(fn func()) {
+	e.pendingEvents++
+	e.clk.After(e.jittered(e.cfg.MRAI, e.cfg.MRAIJitter), func() {
+		e.pendingEvents--
+		fn()
+	})
+}
+
+// armPhase schedules fn at the next tick of a free-running MRAI timer: a
+// uniform phase in [0, MRAI).
+func (e *Engine) armPhase(fn func()) {
+	e.pendingEvents++
+	e.clk.After(time.Duration(e.rng.Float64()*float64(e.cfg.MRAI)), func() {
+		e.pendingEvents--
+		fn()
+	})
+}
+
+func (e *Engine) notifyBest(asn topo.ASN, prefix netip.Prefix, path topo.Path) {
+	if e.OnBestChange != nil {
+		e.OnBestChange(BestChange{At: e.clk.Now(), AS: asn, Prefix: prefix, Path: path})
+	}
+}

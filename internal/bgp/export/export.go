@@ -1,0 +1,90 @@
+// Package export bridges the simulator's control plane to real BGP
+// sessions: it converts an origin's crafted announcement policies
+// (prepended baselines, poisons, selective per-neighbor patterns) into wire
+// UPDATE messages and mirrors every change onto live sessions. In a real
+// deployment this is the piece between the remediation engine and the
+// upstream router — the BGP-Mux role in the paper.
+package export
+
+import (
+	"fmt"
+	"net/netip"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/bgp/session"
+	"lifeguard/internal/bgp/wire"
+	"lifeguard/internal/topo"
+)
+
+// UpdateFor converts the origin's announcement policy toward one neighbor
+// into a wire UPDATE. withdrawn=true (with cfg nil) produces a withdrawal;
+// a config that withholds from this neighbor also yields a withdrawal.
+func UpdateFor(origin topo.ASN, prefix netip.Prefix, cfg *bgp.OriginConfig,
+	neighbor topo.ASN, nextHop netip.Addr) (wire.Update, error) {
+
+	if cfg == nil {
+		return wire.Update{Withdrawn: []netip.Prefix{prefix}}, nil
+	}
+	pat, ok := cfg.EffectivePattern(origin, neighbor)
+	if !ok {
+		return wire.Update{Withdrawn: []netip.Prefix{prefix}}, nil
+	}
+	u := wire.Update{
+		Origin:  wire.OriginIGP,
+		NextHop: nextHop,
+		NLRI:    []netip.Prefix{prefix},
+		MED:     uint32(cfg.MED),
+		HasMED:  cfg.MED != 0,
+	}
+	for _, a := range pat {
+		u.ASPath = append(u.ASPath, uint16(a))
+	}
+	for _, c := range cfg.EffectiveCommunities(neighbor) {
+		u.Communities = append(u.Communities, uint32(c))
+	}
+	return u, nil
+}
+
+// Bridge mirrors one origin's announcements from a bgp.Engine onto live
+// wire sessions, one per provider ("mux"). Attach it before the origin
+// starts announcing.
+type Bridge struct {
+	origin  topo.ASN
+	nextHop netip.Addr
+	peers   map[topo.ASN]*session.Session
+
+	// Err, if set, receives send failures (the bridge itself keeps
+	// going; a dead session is the operator's problem to restore).
+	Err func(neighbor topo.ASN, err error)
+}
+
+// NewBridge attaches a bridge for origin to the engine. peers maps each
+// neighbor ASN to the established session carrying announcements to it.
+// nextHop is the NEXT_HOP to advertise.
+func NewBridge(e *bgp.Engine, origin topo.ASN, nextHop netip.Addr,
+	peers map[topo.ASN]*session.Session) *Bridge {
+
+	b := &Bridge{origin: origin, nextHop: nextHop, peers: peers}
+	prev := e.OnOriginChange
+	e.OnOriginChange = func(asn topo.ASN, prefix netip.Prefix, cfg *bgp.OriginConfig) {
+		if prev != nil {
+			prev(asn, prefix, cfg)
+		}
+		if asn == origin {
+			b.mirror(prefix, cfg)
+		}
+	}
+	return b
+}
+
+func (b *Bridge) mirror(prefix netip.Prefix, cfg *bgp.OriginConfig) {
+	for n, s := range b.peers {
+		u, err := UpdateFor(b.origin, prefix, cfg, n, b.nextHop)
+		if err == nil {
+			err = s.Announce(u)
+		}
+		if err != nil && b.Err != nil {
+			b.Err(n, fmt.Errorf("export: mirror to AS%d: %w", n, err))
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package export
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/bgp/session"
+	"lifeguard/internal/bgp/wire"
+	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/nettest"
+	"lifeguard/internal/topo"
+)
+
+func TestUpdateFor(t *testing.T) {
+	nh := netip.MustParseAddr("198.51.100.1")
+	prefix := netip.MustParsePrefix("184.164.240.0/24")
+	cfg := &bgp.OriginConfig{
+		Pattern: topo.Path{10, 30, 10},
+		PerNeighbor: map[topo.ASN]topo.Path{
+			7: {10, 10, 10},
+		},
+		Withhold:    map[topo.ASN]bool{8: true},
+		Communities: []bgp.Community{0xFDE80001},
+		MED:         5,
+	}
+	// Default pattern neighbor.
+	u, err := UpdateFor(10, prefix, cfg, 9, nh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.ASPath) != 3 || u.ASPath[1] != 30 {
+		t.Fatalf("ASPath = %v", u.ASPath)
+	}
+	if !u.HasMED || u.MED != 5 || len(u.Communities) != 1 {
+		t.Fatalf("attrs = %+v", u)
+	}
+	// Per-neighbor override.
+	u, _ = UpdateFor(10, prefix, cfg, 7, nh)
+	if len(u.ASPath) != 3 || u.ASPath[1] != 10 {
+		t.Fatalf("per-neighbor ASPath = %v", u.ASPath)
+	}
+	// Withheld neighbor gets a withdrawal.
+	u, _ = UpdateFor(10, prefix, cfg, 8, nh)
+	if len(u.Withdrawn) != 1 || len(u.NLRI) != 0 {
+		t.Fatalf("withhold = %+v", u)
+	}
+	// Nil config is a withdrawal.
+	u, _ = UpdateFor(10, prefix, nil, 9, nh)
+	if len(u.Withdrawn) != 1 {
+		t.Fatalf("withdraw = %+v", u)
+	}
+}
+
+// TestBridgeMirrorsRepairOntoWire is the deployment story end to end: the
+// remediation controller poisons inside the simulator, and the bridge ships
+// the exact O-A-O announcement over a real BGP session to the upstream.
+func TestBridgeMirrorsRepairOntoWire(t *testing.T) {
+	n := nettest.Fig2(t)
+
+	// A wire session standing in for the real upstream router.
+	connA, connB := net.Pipe()
+	local := session.New(connA, session.Config{LocalAS: uint16(nettest.O)})
+	upstream := session.New(connB, session.Config{LocalAS: uint16(nettest.B)})
+	got := make(chan wire.Update, 16)
+	upstream.OnUpdate = func(u wire.Update) { got <- u }
+	errs := make(chan error, 2)
+	go func() { errs <- local.Start(context.Background()) }()
+	go func() { errs <- upstream.Start(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer local.Close()
+	defer upstream.Close()
+
+	NewBridge(n.Eng, nettest.O, netip.MustParseAddr("198.51.100.1"),
+		map[topo.ASN]*session.Session{nettest.B: local})
+
+	ctrl := remedy.New(n.Eng, n.Prober, n.Clk, remedy.Config{Origin: nettest.O})
+	ctrl.AnnounceBaseline()
+
+	recv := func() wire.Update {
+		select {
+		case u := <-got:
+			return u
+		case <-time.After(3 * time.Second):
+			t.Fatal("no update on the wire")
+			return wire.Update{}
+		}
+	}
+	// Baseline: production O-O-O then sentinel O-O-O.
+	u := recv()
+	if len(u.ASPath) != 3 || u.ASPath[0] != uint16(nettest.O) || u.ASPath[1] != uint16(nettest.O) {
+		t.Fatalf("baseline path = %v", u.ASPath)
+	}
+	recv() // sentinel
+
+	// The repair: poison A. The upstream must see O-A-O for production.
+	ctrl.Poison(nettest.A, n.Top.Router(n.Hub(nettest.E)).Addr)
+	u = recv()
+	want := []uint16{uint16(nettest.O), uint16(nettest.A), uint16(nettest.O)}
+	for i := range want {
+		if u.ASPath[i] != want[i] {
+			t.Fatalf("poisoned path on wire = %v, want %v", u.ASPath, want)
+		}
+	}
+	if u.NLRI[0] != ctrl.Config().Production {
+		t.Fatalf("poisoned NLRI = %v", u.NLRI)
+	}
+
+	// Unpoison restores the baseline on the wire (production + sentinel
+	// are both re-announced).
+	ctrl.Unpoison()
+	u = recv()
+	if u.ASPath[1] != uint16(nettest.O) {
+		t.Fatalf("unpoisoned path = %v", u.ASPath)
+	}
+}

@@ -1,0 +1,107 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+
+	"lifeguard/internal/bgp/wire"
+)
+
+// Server accepts BGP peerings on a listener and runs a Session for each —
+// the shape of a route collector (RouteViews / RIPE RIS), which is exactly
+// the vantage the paper's efficacy and convergence measurements come from.
+// Use Collector to retain every received update per peer.
+type Server struct {
+	cfg Config
+
+	// OnUpdate, if set, receives every UPDATE from any peer along with
+	// the peer's AS. It must be safe for concurrent use; sessions run in
+	// their own goroutines.
+	OnUpdate func(peerAS uint16, u wire.Update)
+
+	// OnSession, if set, observes each established session.
+	OnSession func(s *Session)
+
+	mu       sync.Mutex
+	sessions []*Session
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewServer returns a server that will identify itself with cfg on every
+// accepted session.
+func NewServer(cfg Config) *Server { return &Server{cfg: cfg} }
+
+// Serve accepts connections until the listener fails or ctx is cancelled.
+// It blocks; run it in a goroutine. Closing the listener unblocks it.
+func (sv *Server) Serve(ctx context.Context, ln net.Listener) error {
+	defer sv.closeAll()
+	stop := context.AfterFunc(ctx, func() { _ = ln.Close() })
+	defer stop()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		sv.wg.Add(1)
+		go sv.handle(ctx, conn)
+	}
+}
+
+func (sv *Server) handle(ctx context.Context, conn net.Conn) {
+	defer sv.wg.Done()
+	s := New(conn, sv.cfg)
+	s.OnUpdate = func(u wire.Update) {
+		if sv.OnUpdate != nil {
+			sv.OnUpdate(s.Peer().AS, u)
+		}
+	}
+	if err := s.Start(ctx); err != nil {
+		return
+	}
+	sv.mu.Lock()
+	if sv.closed {
+		sv.mu.Unlock()
+		s.Close()
+		return
+	}
+	sv.sessions = append(sv.sessions, s)
+	sv.mu.Unlock()
+	if sv.OnSession != nil {
+		sv.OnSession(s)
+	}
+	<-s.Done()
+}
+
+// Sessions returns the currently-tracked sessions (established order).
+func (sv *Server) Sessions() []*Session {
+	sv.mu.Lock()
+	defer sv.mu.Unlock()
+	out := make([]*Session, 0, len(sv.sessions))
+	for _, s := range sv.sessions {
+		if s.State() == Established {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (sv *Server) closeAll() {
+	sv.mu.Lock()
+	sv.closed = true
+	sessions := append([]*Session(nil), sv.sessions...)
+	sv.mu.Unlock()
+	for _, s := range sessions {
+		s.Close()
+	}
+	sv.wg.Wait()
+}

@@ -1,0 +1,147 @@
+package session
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"lifeguard/internal/bgp/wire"
+)
+
+// startServer runs a Server on a loopback listener and returns its address
+// and a cancel func.
+func startServer(t *testing.T, sv *Server) (string, context.CancelFunc) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = sv.Serve(ctx, ln)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("server did not stop")
+		}
+	})
+	return ln.Addr().String(), cancel
+}
+
+func dialPeer(t *testing.T, addr string, as uint16) *Session {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(conn, Config{LocalAS: as, RouterID: netip.AddrFrom4([4]byte{10, 0, byte(as >> 8), byte(as)})})
+	if err := s.Start(context.Background()); err != nil {
+		t.Fatalf("peer AS%d start: %v", as, err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestServerAcceptsMultiplePeers(t *testing.T) {
+	var mu sync.Mutex
+	got := map[uint16][]wire.Update{}
+	sv := NewServer(Config{LocalAS: 65000})
+	sv.OnUpdate = func(peerAS uint16, u wire.Update) {
+		mu.Lock()
+		got[peerAS] = append(got[peerAS], u)
+		mu.Unlock()
+	}
+	addr, _ := startServer(t, sv)
+
+	peers := []*Session{dialPeer(t, addr, 64512), dialPeer(t, addr, 64513), dialPeer(t, addr, 64514)}
+	for i, p := range peers {
+		u := wire.Update{
+			ASPath:  []uint16{64512 + uint16(i)},
+			NextHop: netip.MustParseAddr("192.0.2.1"),
+			NLRI:    []netip.Prefix{netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i), 0, 0}), 16)},
+		}
+		if err := p.Announce(u); err != nil {
+			t.Fatalf("peer %d announce: %v", i, err)
+		}
+	}
+
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("only %d peers' updates arrived", n)
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for as, us := range got {
+		if len(us) != 1 || us[0].ASPath[0] != as {
+			t.Fatalf("peer AS%d updates = %+v", as, us)
+		}
+	}
+}
+
+func TestServerSessionsTracking(t *testing.T) {
+	sv := NewServer(Config{LocalAS: 65000})
+	established := make(chan *Session, 4)
+	sv.OnSession = func(s *Session) { established <- s }
+	addr, _ := startServer(t, sv)
+
+	p1 := dialPeer(t, addr, 64512)
+	p2 := dialPeer(t, addr, 64513)
+	for i := 0; i < 2; i++ {
+		select {
+		case <-established:
+		case <-time.After(5 * time.Second):
+			t.Fatal("session not established")
+		}
+	}
+	if n := len(sv.Sessions()); n != 2 {
+		t.Fatalf("Sessions() = %d, want 2", n)
+	}
+	p1.Close()
+	// After a peer closes, it drops out of the established list.
+	deadline := time.After(5 * time.Second)
+	for len(sv.Sessions()) != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("Sessions() = %d, want 1", len(sv.Sessions()))
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	_ = p2
+}
+
+func TestServerShutdownClosesPeers(t *testing.T) {
+	sv := NewServer(Config{LocalAS: 65000})
+	established := make(chan *Session, 1)
+	sv.OnSession = func(s *Session) { established <- s }
+	addr, cancel := startServer(t, sv)
+	p := dialPeer(t, addr, 64512)
+	select {
+	case <-established:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no session")
+	}
+	cancel()
+	select {
+	case <-p.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("peer not closed on server shutdown")
+	}
+}

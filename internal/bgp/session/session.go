@@ -1,0 +1,373 @@
+// Package session runs a BGP-4 peering over a net.Conn: OPEN handshake with
+// hold-time negotiation, keepalive generation, hold-timer enforcement via
+// read deadlines, and UPDATE exchange using the wire codec. It is the
+// transport a LIFEGUARD deployment uses to feed crafted announcements to an
+// upstream router (the BGP-Mux role in the paper's deployment).
+package session
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"lifeguard/internal/bgp/wire"
+)
+
+// State is the FSM state.
+type State int
+
+// FSM states (the TCP states of RFC 4271 are collapsed: the caller supplies
+// an established conn).
+const (
+	Idle State = iota
+	OpenSent
+	OpenConfirm
+	Established
+	Closed
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case OpenSent:
+		return "open-sent"
+	case OpenConfirm:
+		return "open-confirm"
+	case Established:
+		return "established"
+	case Closed:
+		return "closed"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrClosed is returned by operations on a closed session.
+var ErrClosed = errors.New("session: closed")
+
+// Config identifies the local speaker.
+type Config struct {
+	LocalAS  uint16
+	RouterID netip.Addr
+	// HoldTime proposed to the peer; the negotiated value is the minimum
+	// of both sides. Default 90s. Zero after negotiation disables the
+	// hold timer.
+	HoldTime time.Duration
+	// HandshakeTimeout bounds the OPEN/KEEPALIVE exchange. Default 10s.
+	HandshakeTimeout time.Duration
+	// Capabilities advertised in OPEN.
+	Capabilities []wire.Capability
+}
+
+func (c Config) withDefaults() Config {
+	if c.HoldTime == 0 {
+		c.HoldTime = 90 * time.Second
+	}
+	if c.HandshakeTimeout == 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	if !c.RouterID.IsValid() {
+		c.RouterID = netip.AddrFrom4([4]byte{192, 0, 2, 1})
+	}
+	return c
+}
+
+// Session is one side of a BGP peering.
+type Session struct {
+	cfg  Config
+	conn net.Conn
+	br   *bufio.Reader
+
+	// OnUpdate, if set before Start, receives every UPDATE from the peer.
+	OnUpdate func(wire.Update)
+
+	mu        sync.Mutex
+	state     State
+	peer      wire.Open
+	hold      time.Duration
+	err       error
+	closeOnce sync.Once
+	done      chan struct{}
+
+	sendMu sync.Mutex // serializes writes
+
+	// Counters for observability.
+	updatesSent, updatesRecv int
+	mcount                   sync.Mutex
+}
+
+// New wraps conn in an un-started session.
+func New(conn net.Conn, cfg Config) *Session {
+	return &Session{
+		cfg:   cfg.withDefaults(),
+		conn:  conn,
+		br:    bufio.NewReader(conn),
+		state: Idle,
+		done:  make(chan struct{}),
+	}
+}
+
+// State returns the current FSM state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Peer returns the peer's OPEN message (valid once Established).
+func (s *Session) Peer() wire.Open {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer
+}
+
+// HoldTime returns the negotiated hold time.
+func (s *Session) HoldTime() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hold
+}
+
+// Counts returns (updates sent, updates received).
+func (s *Session) Counts() (int, int) {
+	s.mcount.Lock()
+	defer s.mcount.Unlock()
+	return s.updatesSent, s.updatesRecv
+}
+
+// Done is closed when the session terminates; Err then reports why.
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Err reports the terminal error (nil for a clean local Close).
+func (s *Session) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *Session) setState(st State) {
+	s.mu.Lock()
+	s.state = st
+	s.mu.Unlock()
+}
+
+// Start performs the OPEN/KEEPALIVE handshake and, on success, launches the
+// reader and keepalive goroutines. It is symmetric: two sessions over the
+// ends of a net.Pipe establish against each other.
+func (s *Session) Start(ctx context.Context) error {
+	if s.State() != Idle {
+		return fmt.Errorf("session: Start in state %v", s.State())
+	}
+	deadline := time.Now().Add(s.cfg.HandshakeTimeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	_ = s.conn.SetDeadline(deadline)
+
+	// Writes on an unbuffered transport (net.Pipe) block until the peer
+	// reads, so send the OPEN from a goroutine while we read theirs.
+	openErr := make(chan error, 1)
+	go func() {
+		openErr <- s.write(wire.Open{
+			AS:           s.cfg.LocalAS,
+			HoldTime:     uint16(s.cfg.HoldTime / time.Second),
+			BGPID:        s.cfg.RouterID,
+			Capabilities: s.cfg.Capabilities,
+		})
+	}()
+	s.setState(OpenSent)
+
+	msg, err := s.read()
+	if err != nil {
+		s.fail(fmt.Errorf("session: reading OPEN: %w", err))
+		return s.Err()
+	}
+	peer, ok := msg.(wire.Open)
+	if !ok {
+		s.fail(fmt.Errorf("session: expected OPEN, got %T", msg))
+		return s.Err()
+	}
+	if peer.Version != 4 {
+		_ = s.write(wire.Notification{Code: wire.NotifOpenError, Subcode: 1})
+		s.fail(fmt.Errorf("session: unsupported BGP version %d", peer.Version))
+		return s.Err()
+	}
+	if err := <-openErr; err != nil {
+		s.fail(fmt.Errorf("session: sending OPEN: %w", err))
+		return s.Err()
+	}
+
+	hold := s.cfg.HoldTime
+	if p := time.Duration(peer.HoldTime) * time.Second; p < hold {
+		hold = p
+	}
+	s.mu.Lock()
+	s.peer, s.hold = peer, hold
+	s.mu.Unlock()
+	s.setState(OpenConfirm)
+
+	kaErr := make(chan error, 1)
+	go func() { kaErr <- s.write(wire.Keepalive{}) }()
+	msg, err = s.read()
+	if err != nil {
+		s.fail(fmt.Errorf("session: reading confirm KEEPALIVE: %w", err))
+		return s.Err()
+	}
+	if _, ok := msg.(wire.Keepalive); !ok {
+		s.fail(fmt.Errorf("session: expected KEEPALIVE, got %T", msg))
+		return s.Err()
+	}
+	if err := <-kaErr; err != nil {
+		s.fail(fmt.Errorf("session: sending KEEPALIVE: %w", err))
+		return s.Err()
+	}
+	s.setState(Established)
+	s.resetHoldTimer()
+
+	go s.readLoop()
+	go s.keepaliveLoop()
+	return nil
+}
+
+// Announce sends an UPDATE to the peer.
+func (s *Session) Announce(u wire.Update) error {
+	if s.State() != Established {
+		return ErrClosed
+	}
+	if err := s.write(u); err != nil {
+		return err
+	}
+	s.mcount.Lock()
+	s.updatesSent++
+	s.mcount.Unlock()
+	return nil
+}
+
+// Close tears the session down cleanly with a CEASE notification.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		if s.State() == Established {
+			_ = s.write(wire.Notification{Code: wire.NotifCease})
+		}
+		s.setState(Closed)
+		_ = s.conn.Close()
+		close(s.done)
+	})
+	return nil
+}
+
+// fail records err and closes without the CEASE courtesy.
+func (s *Session) fail(err error) {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		s.state = Closed
+		s.mu.Unlock()
+		_ = s.conn.Close()
+		close(s.done)
+	})
+}
+
+func (s *Session) write(m wire.Message) error {
+	b, err := wire.Marshal(m)
+	if err != nil {
+		return err
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	_, err = s.conn.Write(b)
+	return err
+}
+
+// read blocks for one complete message.
+func (s *Session) read() (wire.Message, error) {
+	hdr := make([]byte, wire.HeaderLen)
+	if _, err := io.ReadFull(s.br, hdr); err != nil {
+		return nil, err
+	}
+	length := int(hdr[16])<<8 | int(hdr[17])
+	if length < wire.HeaderLen || length > wire.MaxMsgLen {
+		return nil, wire.ErrBadLength
+	}
+	full := make([]byte, length)
+	copy(full, hdr)
+	if _, err := io.ReadFull(s.br, full[wire.HeaderLen:]); err != nil {
+		return nil, err
+	}
+	m, _, err := wire.Unmarshal(full)
+	return m, err
+}
+
+// resetHoldTimer pushes the read deadline out by the negotiated hold time.
+func (s *Session) resetHoldTimer() {
+	if h := s.HoldTime(); h > 0 {
+		_ = s.conn.SetReadDeadline(time.Now().Add(h))
+	} else {
+		_ = s.conn.SetReadDeadline(time.Time{})
+	}
+	_ = s.conn.SetWriteDeadline(time.Time{})
+}
+
+func (s *Session) readLoop() {
+	for {
+		msg, err := s.read()
+		if err != nil {
+			if s.State() == Closed {
+				return
+			}
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				_ = s.write(wire.Notification{Code: wire.NotifHoldTimer})
+				s.fail(fmt.Errorf("session: hold timer expired: %w", err))
+				return
+			}
+			s.fail(fmt.Errorf("session: read: %w", err))
+			return
+		}
+		s.resetHoldTimer()
+		switch m := msg.(type) {
+		case wire.Keepalive:
+			// hold timer already reset
+		case wire.Update:
+			s.mcount.Lock()
+			s.updatesRecv++
+			s.mcount.Unlock()
+			if s.OnUpdate != nil {
+				s.OnUpdate(m)
+			}
+		case wire.Notification:
+			s.fail(fmt.Errorf("session: peer notification: %w", error(m)))
+			return
+		case wire.Open:
+			s.fail(errors.New("session: unexpected OPEN while established"))
+			return
+		}
+	}
+}
+
+func (s *Session) keepaliveLoop() {
+	h := s.HoldTime()
+	if h <= 0 {
+		return
+	}
+	t := time.NewTicker(h / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-t.C:
+			if err := s.write(wire.Keepalive{}); err != nil {
+				s.fail(fmt.Errorf("session: keepalive write: %w", err))
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+package session
+
+import (
+	"context"
+	"net"
+	"net/netip"
+	"testing"
+	"time"
+
+	"lifeguard/internal/bgp/wire"
+)
+
+// pair establishes two sessions over an in-memory pipe.
+func pair(t *testing.T, cfgA, cfgB Config) (*Session, *Session) {
+	t.Helper()
+	ca, cb := net.Pipe()
+	a, b := New(ca, cfgA), New(cb, cfgB)
+	errs := make(chan error, 2)
+	go func() { errs <- a.Start(context.Background()) }()
+	go func() { errs <- b.Start(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+	}
+	t.Cleanup(func() {
+		a.Close()
+		b.Close()
+	})
+	return a, b
+}
+
+func TestHandshakeEstablishes(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 64512, RouterID: netip.MustParseAddr("10.0.0.1"), HoldTime: 30 * time.Second},
+		Config{LocalAS: 3356, RouterID: netip.MustParseAddr("10.0.0.2"), HoldTime: 9 * time.Second},
+	)
+	if a.State() != Established || b.State() != Established {
+		t.Fatalf("states: %v %v", a.State(), b.State())
+	}
+	if a.Peer().AS != 3356 || b.Peer().AS != 64512 {
+		t.Fatalf("peer ASes: %d %d", a.Peer().AS, b.Peer().AS)
+	}
+	// Negotiated hold time is the minimum of both proposals.
+	if a.HoldTime() != 9*time.Second || b.HoldTime() != 9*time.Second {
+		t.Fatalf("hold times: %v %v", a.HoldTime(), b.HoldTime())
+	}
+}
+
+func TestUpdateExchange(t *testing.T) {
+	got := make(chan wire.Update, 1)
+	ca, cb := net.Pipe()
+	a := New(ca, Config{LocalAS: 64512})
+	b := New(cb, Config{LocalAS: 64513})
+	b.OnUpdate = func(u wire.Update) { got <- u }
+	errs := make(chan error, 2)
+	go func() { errs <- a.Start(context.Background()) }()
+	go func() { errs <- b.Start(context.Background()) }()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; err != nil {
+			t.Fatalf("Start: %v", err)
+		}
+	}
+	defer a.Close()
+	defer b.Close()
+
+	// Announce a poisoned path, LIFEGUARD-style.
+	u := wire.Update{
+		ASPath:  []uint16{64512, 3356, 64512},
+		NextHop: netip.MustParseAddr("198.51.100.1"),
+		NLRI:    []netip.Prefix{netip.MustParsePrefix("184.164.240.0/24")},
+	}
+	if err := a.Announce(u); err != nil {
+		t.Fatalf("Announce: %v", err)
+	}
+	select {
+	case recv := <-got:
+		if len(recv.ASPath) != 3 || recv.ASPath[1] != 3356 {
+			t.Fatalf("received path %v", recv.ASPath)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update not delivered")
+	}
+	sent, _ := a.Counts()
+	if sent != 1 {
+		t.Fatalf("sent = %d", sent)
+	}
+	// Give the counter a moment; OnUpdate fired so it is already counted.
+	_, recvN := b.Counts()
+	if recvN != 1 {
+		t.Fatalf("recv = %d", recvN)
+	}
+}
+
+func TestKeepalivesSustainSession(t *testing.T) {
+	a, b := pair(t,
+		Config{LocalAS: 1, HoldTime: 3 * time.Second},
+		Config{LocalAS: 2, HoldTime: 3 * time.Second},
+	)
+	// Longer than the hold time: keepalives must keep both sides alive.
+	time.Sleep(4 * time.Second)
+	if a.State() != Established || b.State() != Established {
+		t.Fatalf("session died: %v/%v a.err=%v b.err=%v", a.State(), b.State(), a.Err(), b.Err())
+	}
+}
+
+func TestCleanCloseNotifiesPeer(t *testing.T) {
+	a, b := pair(t, Config{LocalAS: 1}, Config{LocalAS: 2})
+	a.Close()
+	select {
+	case <-b.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("peer did not observe close")
+	}
+	if b.Err() == nil {
+		t.Fatal("peer should record the CEASE notification")
+	}
+}
+
+func TestAnnounceAfterCloseFails(t *testing.T) {
+	a, _ := pair(t, Config{LocalAS: 1}, Config{LocalAS: 2})
+	a.Close()
+	err := a.Announce(wire.Update{})
+	if err == nil {
+		t.Fatal("Announce on closed session succeeded")
+	}
+}
+
+func TestStartTwiceFails(t *testing.T) {
+	a, _ := pair(t, Config{LocalAS: 1}, Config{LocalAS: 2})
+	if err := a.Start(context.Background()); err == nil {
+		t.Fatal("second Start should fail")
+	}
+}
+
+func TestHandshakeTimeout(t *testing.T) {
+	ca, _ := net.Pipe() // nobody on the far end
+	s := New(ca, Config{LocalAS: 1, HandshakeTimeout: 200 * time.Millisecond})
+	start := time.Now()
+	err := s.Start(context.Background())
+	if err == nil {
+		t.Fatal("handshake against silent peer succeeded")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("timeout took too long")
+	}
+	if s.State() != Closed {
+		t.Fatalf("state = %v", s.State())
+	}
+}
+
+func TestContextDeadlineBoundsHandshake(t *testing.T) {
+	ca, _ := net.Pipe()
+	s := New(ca, Config{LocalAS: 1, HandshakeTimeout: time.Minute})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if err := s.Start(ctx); err == nil {
+		t.Fatal("expected failure")
+	}
+	if time.Since(start) > 3*time.Second {
+		t.Fatal("ctx deadline ignored")
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		s   *Session
+		err error
+	}
+	accepted := make(chan res, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			accepted <- res{nil, err}
+			return
+		}
+		s := New(conn, Config{LocalAS: 65001})
+		accepted <- res{s, s.Start(context.Background())}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := New(conn, Config{LocalAS: 65002})
+	if err := cli.Start(context.Background()); err != nil {
+		t.Fatalf("client start: %v", err)
+	}
+	defer cli.Close()
+	srv := <-accepted
+	if srv.err != nil {
+		t.Fatalf("server start: %v", srv.err)
+	}
+	defer srv.s.Close()
+	if cli.Peer().AS != 65001 || srv.s.Peer().AS != 65002 {
+		t.Fatalf("peer ASes: %d %d", cli.Peer().AS, srv.s.Peer().AS)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for st, want := range map[State]string{
+		Idle: "idle", OpenSent: "open-sent", OpenConfirm: "open-confirm",
+		Established: "established", Closed: "closed", State(99): "unknown",
+	} {
+		if st.String() != want {
+			t.Fatalf("%d -> %q", st, st.String())
+		}
+	}
+}

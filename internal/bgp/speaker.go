@@ -1,0 +1,383 @@
+package bgp
+
+import (
+	"net/netip"
+	"sort"
+
+	"lifeguard/internal/topo"
+)
+
+// Speaker is the BGP process of one AS.
+type Speaker struct {
+	e   *Engine
+	asn topo.ASN
+
+	// adjIn holds the latest accepted route per prefix per neighbor.
+	adjIn map[netip.Prefix]map[topo.ASN]*Route
+	// best is the loc-RIB: the selected route per prefix.
+	best map[netip.Prefix]*Route
+	// origin holds locally-originated prefixes and their announcement
+	// policies.
+	origin map[netip.Prefix]OriginConfig
+	// out tracks per-neighbor send state (MRAI batching + dedup).
+	out map[topo.ASN]*outState
+	// damp tracks RFC 2439 flap state per (neighbor, prefix).
+	damp map[dampKey]*dampState
+	// downNbrs marks neighbors whose BGP session is failed.
+	downNbrs map[topo.ASN]bool
+	// commActions maps this AS's action communities (§2.3) to behaviour.
+	commActions map[Community]CommunityAction
+
+	neighbors []topo.ASN // sorted, cached
+}
+
+type advRecord struct {
+	path        topo.Path
+	communities []Community
+}
+
+type outState struct {
+	pending    map[netip.Prefix]bool
+	timerArmed bool
+	lastAdv    map[netip.Prefix]advRecord
+}
+
+func newSpeaker(e *Engine, asn topo.ASN) *Speaker {
+	s := &Speaker{
+		e:         e,
+		asn:       asn,
+		adjIn:     make(map[netip.Prefix]map[topo.ASN]*Route),
+		best:      make(map[netip.Prefix]*Route),
+		origin:    make(map[netip.Prefix]OriginConfig),
+		out:       make(map[topo.ASN]*outState),
+		damp:      make(map[dampKey]*dampState),
+		downNbrs:  make(map[topo.ASN]bool),
+		neighbors: e.top.Neighbors(asn),
+	}
+	for _, n := range s.neighbors {
+		s.out[n] = &outState{
+			pending: make(map[netip.Prefix]bool),
+			lastAdv: make(map[netip.Prefix]advRecord),
+		}
+	}
+	return s
+}
+
+// ASN returns the speaker's AS number.
+func (s *Speaker) ASN() topo.ASN { return s.asn }
+
+// Best returns the selected route for an exact prefix.
+func (s *Speaker) Best(p netip.Prefix) (*Route, bool) {
+	r, ok := s.best[p]
+	return r, ok
+}
+
+// AdjIn returns a copy of the per-neighbor routes known for p.
+func (s *Speaker) AdjIn(p netip.Prefix) map[topo.ASN]*Route {
+	out := make(map[topo.ASN]*Route, len(s.adjIn[p]))
+	for n, r := range s.adjIn[p] {
+		out[n] = r
+	}
+	return out
+}
+
+// KnownPrefixes returns the prefixes with a selected route, sorted.
+func (s *Speaker) KnownPrefixes() []netip.Prefix {
+	out := make([]netip.Prefix, 0, len(s.best))
+	for p := range s.best {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	return out
+}
+
+// announce installs an origin config and propagates resulting changes.
+func (s *Speaker) announce(prefix netip.Prefix, cfg OriginConfig) {
+	s.origin[prefix] = cfg
+	s.decide(prefix)
+	// Even when the loc-RIB didn't change (origin routes always win),
+	// the exported pattern may have: re-advertise everywhere.
+	s.markAllPending(prefix)
+}
+
+func (s *Speaker) withdrawOrigin(prefix netip.Prefix) {
+	if _, ok := s.origin[prefix]; !ok {
+		return
+	}
+	delete(s.origin, prefix)
+	s.decide(prefix)
+	s.markAllPending(prefix)
+}
+
+// receive applies one update from a neighbor.
+func (s *Speaker) receive(from topo.ASN, u update) {
+	m := s.adjIn[u.prefix]
+	if s.e.cfg.Dampening.Enabled {
+		// A flap is any change to an already-known route: a withdrawal
+		// or a replacement announcement (RFC 2439 §4.4.3).
+		if old := m[from]; old != nil {
+			s.noteFlap(dampKey{from: from, prefix: u.prefix})
+		}
+	}
+	if u.path == nil || !s.importOK(from, u.path) {
+		// Withdrawal, or a route rejected by import policy: either way
+		// the neighbor no longer offers a usable route.
+		if m == nil || m[from] == nil {
+			return
+		}
+		delete(m, from)
+	} else {
+		rel := s.e.top.Rel(s.asn, from)
+		r := &Route{
+			Prefix:      u.prefix,
+			Path:        u.path,
+			From:        from,
+			Rel:         rel,
+			LocalPref:   localPref(rel),
+			MED:         u.med,
+			Communities: u.communities,
+		}
+		if s.communityAction(u.communities) == ActionLowerPref {
+			r.LocalPref = prefBackup
+		}
+		if old := m[from]; old != nil && routesEqual(old, r) {
+			return
+		}
+		if m == nil {
+			m = make(map[topo.ASN]*Route)
+			s.adjIn[u.prefix] = m
+		}
+		m[from] = r
+	}
+	if s.decide(u.prefix) {
+		s.markAllPending(u.prefix)
+	}
+}
+
+func localPref(rel topo.Rel) int {
+	switch rel {
+	case topo.RelCustomer:
+		return prefCustomer
+	case topo.RelPeer:
+		return prefPeer
+	default:
+		return prefProvider
+	}
+}
+
+// importOK applies loop prevention and the §7.1 policy quirks.
+func (s *Speaker) importOK(from topo.ASN, path topo.Path) bool {
+	if len(path) == 0 || path[0] != from {
+		return false
+	}
+	as := s.e.top.AS(s.asn)
+	// MaxOwnASOccurs == 0 disables loop detection entirely (§7.1).
+	if as.MaxOwnASOccurs > 0 && path.Count(s.asn) >= as.MaxOwnASOccurs {
+		return false
+	}
+	if as.FilterPeersFromCustomers && s.e.top.Rel(s.asn, from) == topo.RelCustomer {
+		for _, a := range path {
+			if s.e.top.Rel(s.asn, a) == topo.RelPeer {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// decide runs the decision process for prefix; reports whether the loc-RIB
+// changed.
+func (s *Speaker) decide(prefix netip.Prefix) bool {
+	var newBest *Route
+	if cfg, ok := s.origin[prefix]; ok {
+		newBest = &Route{
+			Prefix:      prefix,
+			Path:        topo.Path{},
+			From:        s.asn,
+			LocalPref:   prefOriginated,
+			Communities: cfg.Communities,
+			Originated:  true,
+		}
+	}
+	for n, r := range s.adjIn[prefix] {
+		if s.e.cfg.Dampening.Enabled && s.Suppressed(n, prefix) {
+			continue
+		}
+		if better(r, newBest) {
+			newBest = r
+		}
+	}
+	old := s.best[prefix]
+	if routesEqual(old, newBest) {
+		return false
+	}
+	if newBest == nil {
+		delete(s.best, prefix)
+		s.e.notifyBest(s.asn, prefix, nil)
+	} else {
+		s.best[prefix] = newBest
+		s.e.notifyBest(s.asn, prefix, newBest.Path.Clone())
+	}
+	return true
+}
+
+func routesEqual(a, b *Route) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.From != b.From || !a.Path.Equal(b.Path) || a.Originated != b.Originated {
+		return false
+	}
+	if len(a.Communities) != len(b.Communities) {
+		return false
+	}
+	for i := range a.Communities {
+		if a.Communities[i] != b.Communities[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Speaker) markAllPending(prefix netip.Prefix) {
+	for _, n := range s.neighbors {
+		s.out[n].pending[prefix] = true
+	}
+	for _, n := range s.neighbors {
+		s.kick(n)
+	}
+}
+
+// kick schedules a flush toward n unless an advertisement timer is already
+// running; in that case the pending prefixes ride along when it expires.
+// The per-neighbor MRAI timer is modelled as free-running: a freshly-kicked
+// session flushes at the timer's next tick, a uniform phase away — this is
+// what spreads update propagation over tens of seconds per hop and gives
+// realistic global convergence times.
+func (s *Speaker) kick(n topo.ASN) {
+	st := s.out[n]
+	if st.timerArmed {
+		return
+	}
+	st.timerArmed = true
+	s.e.armPhase(func() {
+		st.timerArmed = false
+		if len(st.pending) > 0 {
+			s.flushAndArm(n)
+		}
+	})
+}
+
+func (s *Speaker) flushAndArm(n topo.ASN) {
+	st := s.out[n]
+	if s.flush(n) == 0 {
+		return
+	}
+	st.timerArmed = true
+	s.e.armMRAI(func() {
+		st.timerArmed = false
+		if len(st.pending) > 0 {
+			s.flushAndArm(n)
+		}
+	})
+}
+
+// flush sends the pending prefixes to n, deduplicating against what was
+// last advertised; it returns the number of messages sent.
+func (s *Speaker) flush(n topo.ASN) int {
+	st := s.out[n]
+	if s.downNbrs[n] {
+		clear(st.pending)
+		return 0
+	}
+	if len(st.pending) == 0 {
+		return 0
+	}
+	prefixes := make([]netip.Prefix, 0, len(st.pending))
+	for p := range st.pending {
+		prefixes = append(prefixes, p)
+	}
+	sort.Slice(prefixes, func(i, j int) bool {
+		if prefixes[i].Addr() != prefixes[j].Addr() {
+			return prefixes[i].Addr().Less(prefixes[j].Addr())
+		}
+		return prefixes[i].Bits() < prefixes[j].Bits()
+	})
+	sent := 0
+	for _, p := range prefixes {
+		delete(st.pending, p)
+		path, comms, med, ok := s.exportTo(n, p)
+		last, had := st.lastAdv[p]
+		if !ok {
+			if had {
+				delete(st.lastAdv, p)
+				s.e.deliver(s.asn, n, update{prefix: p})
+				sent++
+			}
+			continue
+		}
+		if had && last.path.Equal(path) && communitiesEqual(last.communities, comms) {
+			continue
+		}
+		st.lastAdv[p] = advRecord{path: path, communities: comms}
+		s.e.deliver(s.asn, n, update{prefix: p, path: path, communities: comms, med: med})
+		sent++
+	}
+	return sent
+}
+
+func communitiesEqual(a, b []Community) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// exportTo computes the announcement of prefix p to neighbor n, applying
+// origin patterns, valley-free export policy, split horizon, and community
+// stripping. ok=false means "no announcement" (neighbor should hold no
+// route from us).
+func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (path topo.Path, comms []Community, med int, ok bool) {
+	if cfg, isOrigin := s.origin[p]; isOrigin {
+		pat, announce := cfg.pattern(s.asn, n)
+		if !announce {
+			return nil, nil, 0, false
+		}
+		cs := cfg.Communities
+		if per, ok := cfg.PerNeighborCommunities[n]; ok {
+			cs = per
+		}
+		return pat.Clone(), append([]Community(nil), cs...), cfg.MED, true
+	}
+	b := s.best[p]
+	if b == nil || b.From == n {
+		return nil, nil, 0, false
+	}
+	// Valley-free export: routes learned from peers or providers are
+	// exported only to customers.
+	relToN := s.e.top.Rel(s.asn, n)
+	if relToN != topo.RelCustomer && b.Rel != topo.RelCustomer {
+		return nil, nil, 0, false
+	}
+	// Action communities this AS defines (§2.3) can further restrict
+	// export.
+	if blockExport(s.communityAction(b.Communities), relToN) {
+		return nil, nil, 0, false
+	}
+	out := b.Path.Prepend(s.asn)
+	c := b.Communities
+	if s.e.top.AS(s.asn).StripCommunities {
+		c = nil
+	}
+	return out, append([]Community(nil), c...), 0, true
+}

@@ -1,0 +1,127 @@
+package bgp
+
+import (
+	"testing"
+
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+)
+
+// fig3Topo: O(1) -> D1(2), D2(3); D1 -> B1(5) -> A(4); D2 -> A; C2(6) and
+// C3(7) are customers of A; C4(8) is a customer of B1; C5(9) buys from both
+// D2 and B1 (so it compares the two sides by path length, like the
+// networks the paper worries prepending would disturb).
+func fig3Topo(t *testing.T) *topo.Topology {
+	t.Helper()
+	b := topo.NewBuilder()
+	for asn := topo.ASN(1); asn <= 9; asn++ {
+		b.AddAS(asn, "")
+	}
+	for _, r := range [][2]topo.ASN{
+		{1, 2}, {1, 3}, {2, 5}, {5, 4}, {3, 4}, {6, 4}, {7, 4}, {8, 5},
+		{9, 3}, {9, 5},
+	} {
+		b.Provider(r[0], r[1])
+	}
+	top, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// TestSelectivePoisoningVsPrepending verifies the §3.1.2 claim: prepending
+// via one provider is a blunt instrument that moves every network using
+// that side, while selective poisoning moves exactly the targeted AS.
+func TestSelectivePoisoningVsPrepending(t *testing.T) {
+	const (
+		O  = topo.ASN(1)
+		D1 = topo.ASN(2)
+		D2 = topo.ASN(3)
+		A  = topo.ASN(4)
+		B1 = topo.ASN(5)
+	)
+	top := fig3Topo(t)
+	prefix := topo.ProductionPrefix(O)
+
+	snapshot := func(e *Engine) map[topo.ASN]topo.ASN {
+		out := make(map[topo.ASN]topo.ASN)
+		for _, asn := range top.ASNs() {
+			if asn == O {
+				continue
+			}
+			if r, ok := e.BestRoute(asn, prefix); ok {
+				nh, _ := r.NextHop()
+				out[asn] = nh
+			}
+		}
+		return out
+	}
+	changedFrom := func(base, now map[topo.ASN]topo.ASN) []topo.ASN {
+		var out []topo.ASN
+		for asn, nh := range base {
+			if now[asn] != nh {
+				out = append(out, asn)
+			}
+		}
+		return out
+	}
+
+	run := func(cfg OriginConfig) (map[topo.ASN]topo.ASN, map[topo.ASN]topo.ASN) {
+		clk := simclock.New()
+		e := New(top, clk, Config{Seed: 12})
+		e.Announce(O, prefix, OriginConfig{Pattern: topo.Path{O, O, O}})
+		if !e.Converge(5_000_000) {
+			t.Fatal("no convergence")
+		}
+		base := snapshot(e)
+		e.Announce(O, prefix, cfg)
+		if !e.Converge(5_000_000) {
+			t.Fatal("no convergence")
+		}
+		return base, snapshot(e)
+	}
+
+	// Technique 1 — heavy prepending via D2 (the traditional tool): the
+	// D2 side becomes longer for everyone, so any AS comparing the two
+	// sides shifts, not just A.
+	base, afterPrepend := run(OriginConfig{
+		Pattern: topo.Path{O, O, O},
+		PerNeighbor: map[topo.ASN]topo.Path{
+			D2: {O, O, O, O, O, O, O},
+		},
+	})
+	prependChanged := changedFrom(base, afterPrepend)
+
+	// Technique 2 — selective poisoning of A via D2: A hears the clean
+	// path only through D1's side, so A (and only A) moves.
+	base2, afterSelective := run(OriginConfig{
+		Pattern: topo.Path{O, O, O},
+		PerNeighbor: map[topo.ASN]topo.Path{
+			D2: {O, A, O},
+		},
+	})
+	selectiveChanged := changedFrom(base2, afterSelective)
+
+	if len(selectiveChanged) != 1 || selectiveChanged[0] != A {
+		t.Fatalf("selective poisoning should move exactly A, moved %v", selectiveChanged)
+	}
+	if afterSelective[A] != B1 {
+		t.Fatalf("A should shift to the B1 side, went via %d", afterSelective[A])
+	}
+	// Prepending must move A too — but it is not allowed to be "surgical":
+	// in this topology D2 itself also abandons its direct route.
+	movedA := false
+	for _, asn := range prependChanged {
+		if asn == A {
+			movedA = true
+		}
+	}
+	if !movedA {
+		t.Fatalf("prepending failed to move A at all: %v", prependChanged)
+	}
+	if len(prependChanged) <= len(selectiveChanged) {
+		t.Fatalf("prepending should be blunter than selective poisoning: %v vs %v",
+			prependChanged, selectiveChanged)
+	}
+}

@@ -1,0 +1,484 @@
+// Package wire implements a BGP-4 (RFC 4271) message codec for the subset
+// LIFEGUARD needs to speak to real routers: OPEN (with capabilities),
+// UPDATE (ORIGIN / AS_PATH / NEXT_HOP / MED / LOCAL_PREF / COMMUNITIES and
+// IPv4 NLRI), KEEPALIVE, and NOTIFICATION. The remediation engine's crafted
+// announcements — prepended baselines, poisons, selective per-neighbor
+// patterns — serialize through this package onto a TCP session.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Message types (RFC 4271 §4.1).
+const (
+	TypeOpen         = 1
+	TypeUpdate       = 2
+	TypeNotification = 3
+	TypeKeepalive    = 4
+)
+
+// Protocol limits.
+const (
+	HeaderLen  = 19
+	MaxMsgLen  = 4096
+	markerByte = 0xFF
+)
+
+// Common errors.
+var (
+	ErrBadMarker   = errors.New("wire: header marker is not all-ones")
+	ErrBadLength   = errors.New("wire: message length out of bounds")
+	ErrTruncated   = errors.New("wire: message truncated")
+	ErrBadType     = errors.New("wire: unknown message type")
+	ErrMsgTooLarge = errors.New("wire: message exceeds 4096 bytes")
+)
+
+// Message is any BGP message body.
+type Message interface {
+	// Type returns the RFC 4271 message type code.
+	Type() byte
+	// marshalBody appends the body (everything after the header).
+	marshalBody(dst []byte) ([]byte, error)
+}
+
+// Marshal serializes a message with its 19-byte header.
+func Marshal(m Message) ([]byte, error) {
+	buf := make([]byte, HeaderLen, 64)
+	for i := 0; i < 16; i++ {
+		buf[i] = markerByte
+	}
+	buf[18] = m.Type()
+	buf, err := m.marshalBody(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf) > MaxMsgLen {
+		return nil, ErrMsgTooLarge
+	}
+	binary.BigEndian.PutUint16(buf[16:18], uint16(len(buf)))
+	return buf, nil
+}
+
+// Unmarshal parses one complete message (header included). It returns the
+// parsed message and the total length consumed.
+func Unmarshal(b []byte) (Message, int, error) {
+	if len(b) < HeaderLen {
+		return nil, 0, ErrTruncated
+	}
+	for i := 0; i < 16; i++ {
+		if b[i] != markerByte {
+			return nil, 0, ErrBadMarker
+		}
+	}
+	length := int(binary.BigEndian.Uint16(b[16:18]))
+	if length < HeaderLen || length > MaxMsgLen {
+		return nil, 0, ErrBadLength
+	}
+	if len(b) < length {
+		return nil, 0, ErrTruncated
+	}
+	body := b[HeaderLen:length]
+	var (
+		m   Message
+		err error
+	)
+	switch b[18] {
+	case TypeOpen:
+		m, err = unmarshalOpen(body)
+	case TypeUpdate:
+		m, err = unmarshalUpdate(body)
+	case TypeNotification:
+		m, err = unmarshalNotification(body)
+	case TypeKeepalive:
+		if len(body) != 0 {
+			err = fmt.Errorf("wire: keepalive with %d body bytes", len(body))
+		} else {
+			m = Keepalive{}
+		}
+	default:
+		err = fmt.Errorf("%w: %d", ErrBadType, b[18])
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, length, nil
+}
+
+// --- OPEN ---------------------------------------------------------------
+
+// Capability is one BGP capability advertised in OPEN (RFC 5492).
+type Capability struct {
+	Code  byte
+	Value []byte
+}
+
+// Open is the OPEN message.
+type Open struct {
+	Version      byte // always 4
+	AS           uint16
+	HoldTime     uint16
+	BGPID        netip.Addr // 4-byte router ID
+	Capabilities []Capability
+}
+
+// Type implements Message.
+func (Open) Type() byte { return TypeOpen }
+
+func (o Open) marshalBody(dst []byte) ([]byte, error) {
+	v := o.Version
+	if v == 0 {
+		v = 4
+	}
+	if !o.BGPID.Is4() {
+		return nil, fmt.Errorf("wire: OPEN BGP identifier %v is not IPv4", o.BGPID)
+	}
+	dst = append(dst, v)
+	dst = binary.BigEndian.AppendUint16(dst, o.AS)
+	dst = binary.BigEndian.AppendUint16(dst, o.HoldTime)
+	id := o.BGPID.As4()
+	dst = append(dst, id[:]...)
+	// Optional parameters: one parameter of type 2 (capabilities) when any
+	// capabilities are present.
+	if len(o.Capabilities) == 0 {
+		return append(dst, 0), nil
+	}
+	var caps []byte
+	for _, c := range o.Capabilities {
+		if len(c.Value) > 255 {
+			return nil, fmt.Errorf("wire: capability %d value too long", c.Code)
+		}
+		caps = append(caps, c.Code, byte(len(c.Value)))
+		caps = append(caps, c.Value...)
+	}
+	if len(caps) > 253 {
+		return nil, errors.New("wire: capabilities exceed optional parameter size")
+	}
+	dst = append(dst, byte(len(caps)+2), 2, byte(len(caps)))
+	return append(dst, caps...), nil
+}
+
+func unmarshalOpen(b []byte) (Open, error) {
+	var o Open
+	if len(b) < 10 {
+		return o, ErrTruncated
+	}
+	o.Version = b[0]
+	o.AS = binary.BigEndian.Uint16(b[1:3])
+	o.HoldTime = binary.BigEndian.Uint16(b[3:5])
+	o.BGPID = netip.AddrFrom4([4]byte(b[5:9]))
+	optLen := int(b[9])
+	rest := b[10:]
+	if len(rest) != optLen {
+		return o, fmt.Errorf("wire: OPEN optional parameter length %d vs %d bytes", optLen, len(rest))
+	}
+	for len(rest) > 0 {
+		if len(rest) < 2 {
+			return o, ErrTruncated
+		}
+		ptype, plen := rest[0], int(rest[1])
+		if len(rest) < 2+plen {
+			return o, ErrTruncated
+		}
+		pval := rest[2 : 2+plen]
+		rest = rest[2+plen:]
+		if ptype != 2 {
+			continue // ignore non-capability parameters
+		}
+		for len(pval) > 0 {
+			if len(pval) < 2 || len(pval) < 2+int(pval[1]) {
+				return o, ErrTruncated
+			}
+			o.Capabilities = append(o.Capabilities, Capability{
+				Code:  pval[0],
+				Value: append([]byte(nil), pval[2:2+int(pval[1])]...),
+			})
+			pval = pval[2+int(pval[1]):]
+		}
+	}
+	return o, nil
+}
+
+// --- UPDATE --------------------------------------------------------------
+
+// Path attribute type codes.
+const (
+	AttrOrigin      = 1
+	AttrASPath      = 2
+	AttrNextHop     = 3
+	AttrMED         = 4
+	AttrLocalPref   = 5
+	AttrCommunities = 8
+)
+
+// ORIGIN values.
+const (
+	OriginIGP        = 0
+	OriginEGP        = 1
+	OriginIncomplete = 2
+)
+
+// Update is the UPDATE message: withdrawals plus one set of attributes
+// shared by all announced NLRI.
+type Update struct {
+	Withdrawn []netip.Prefix
+
+	Origin      byte
+	ASPath      []uint16 // AS_SEQUENCE, leftmost first
+	NextHop     netip.Addr
+	MED         uint32
+	HasMED      bool
+	LocalPref   uint32
+	HasLocal    bool
+	Communities []uint32
+
+	NLRI []netip.Prefix
+}
+
+// Type implements Message.
+func (Update) Type() byte { return TypeUpdate }
+
+func appendNLRI(dst []byte, prefixes []netip.Prefix) ([]byte, error) {
+	for _, p := range prefixes {
+		if !p.Addr().Is4() {
+			return nil, fmt.Errorf("wire: non-IPv4 prefix %v", p)
+		}
+		bits := p.Bits()
+		dst = append(dst, byte(bits))
+		a := p.Masked().Addr().As4()
+		dst = append(dst, a[:(bits+7)/8]...)
+	}
+	return dst, nil
+}
+
+func parseNLRI(b []byte) ([]netip.Prefix, error) {
+	var out []netip.Prefix
+	for len(b) > 0 {
+		bits := int(b[0])
+		if bits > 32 {
+			return nil, fmt.Errorf("wire: NLRI prefix length %d", bits)
+		}
+		n := (bits + 7) / 8
+		if len(b) < 1+n {
+			return nil, ErrTruncated
+		}
+		var a [4]byte
+		copy(a[:], b[1:1+n])
+		out = append(out, netip.PrefixFrom(netip.AddrFrom4(a), bits))
+		b = b[1+n:]
+	}
+	return out, nil
+}
+
+// attribute flag bits.
+const (
+	flagOptional   = 0x80
+	flagTransitive = 0x40
+	flagExtLen     = 0x10
+)
+
+func appendAttr(dst []byte, flags, typ byte, val []byte) []byte {
+	if len(val) > 255 {
+		flags |= flagExtLen
+	}
+	dst = append(dst, flags, typ)
+	if flags&flagExtLen != 0 {
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(val)))
+	} else {
+		dst = append(dst, byte(len(val)))
+	}
+	return append(dst, val...)
+}
+
+func (u Update) marshalBody(dst []byte) ([]byte, error) {
+	// Withdrawn routes.
+	wStart := len(dst)
+	dst = append(dst, 0, 0)
+	var err error
+	dst, err = appendNLRI(dst, u.Withdrawn)
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint16(dst[wStart:], uint16(len(dst)-wStart-2))
+
+	// Path attributes (only when announcing).
+	aStart := len(dst)
+	dst = append(dst, 0, 0)
+	if len(u.NLRI) > 0 {
+		dst = appendAttr(dst, flagTransitive, AttrOrigin, []byte{u.Origin})
+		if len(u.ASPath) > 255 {
+			return nil, errors.New("wire: AS_PATH too long for one segment")
+		}
+		seg := []byte{2 /* AS_SEQUENCE */, byte(len(u.ASPath))}
+		for _, a := range u.ASPath {
+			seg = binary.BigEndian.AppendUint16(seg, a)
+		}
+		dst = appendAttr(dst, flagTransitive, AttrASPath, seg)
+		if !u.NextHop.Is4() {
+			return nil, fmt.Errorf("wire: NEXT_HOP %v is not IPv4", u.NextHop)
+		}
+		nh := u.NextHop.As4()
+		dst = appendAttr(dst, flagTransitive, AttrNextHop, nh[:])
+		if u.HasMED {
+			dst = appendAttr(dst, flagOptional, AttrMED, binary.BigEndian.AppendUint32(nil, u.MED))
+		}
+		if u.HasLocal {
+			dst = appendAttr(dst, flagTransitive, AttrLocalPref, binary.BigEndian.AppendUint32(nil, u.LocalPref))
+		}
+		if len(u.Communities) > 0 {
+			var cv []byte
+			for _, c := range u.Communities {
+				cv = binary.BigEndian.AppendUint32(cv, c)
+			}
+			dst = appendAttr(dst, flagOptional|flagTransitive, AttrCommunities, cv)
+		}
+	}
+	binary.BigEndian.PutUint16(dst[aStart:], uint16(len(dst)-aStart-2))
+
+	return appendNLRI(dst, u.NLRI)
+}
+
+func unmarshalUpdate(b []byte) (Update, error) {
+	var u Update
+	if len(b) < 2 {
+		return u, ErrTruncated
+	}
+	wLen := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+wLen+2 {
+		return u, ErrTruncated
+	}
+	var err error
+	if u.Withdrawn, err = parseNLRI(b[2 : 2+wLen]); err != nil {
+		return u, err
+	}
+	b = b[2+wLen:]
+	aLen := int(binary.BigEndian.Uint16(b[:2]))
+	if len(b) < 2+aLen {
+		return u, ErrTruncated
+	}
+	attrs := b[2 : 2+aLen]
+	if u.NLRI, err = parseNLRI(b[2+aLen:]); err != nil {
+		return u, err
+	}
+	for len(attrs) > 0 {
+		if len(attrs) < 3 {
+			return u, ErrTruncated
+		}
+		flags, typ := attrs[0], attrs[1]
+		var vlen, off int
+		if flags&flagExtLen != 0 {
+			if len(attrs) < 4 {
+				return u, ErrTruncated
+			}
+			vlen, off = int(binary.BigEndian.Uint16(attrs[2:4])), 4
+		} else {
+			vlen, off = int(attrs[2]), 3
+		}
+		if len(attrs) < off+vlen {
+			return u, ErrTruncated
+		}
+		val := attrs[off : off+vlen]
+		attrs = attrs[off+vlen:]
+		switch typ {
+		case AttrOrigin:
+			if vlen != 1 {
+				return u, fmt.Errorf("wire: ORIGIN length %d", vlen)
+			}
+			u.Origin = val[0]
+		case AttrASPath:
+			for len(val) > 0 {
+				if len(val) < 2 {
+					return u, ErrTruncated
+				}
+				segType, n := val[0], int(val[1])
+				if segType != 2 && segType != 1 {
+					return u, fmt.Errorf("wire: AS_PATH segment type %d", segType)
+				}
+				if len(val) < 2+2*n {
+					return u, ErrTruncated
+				}
+				for i := 0; i < n; i++ {
+					u.ASPath = append(u.ASPath, binary.BigEndian.Uint16(val[2+2*i:]))
+				}
+				val = val[2+2*n:]
+			}
+		case AttrNextHop:
+			if vlen != 4 {
+				return u, fmt.Errorf("wire: NEXT_HOP length %d", vlen)
+			}
+			u.NextHop = netip.AddrFrom4([4]byte(val))
+		case AttrMED:
+			if vlen != 4 {
+				return u, fmt.Errorf("wire: MED length %d", vlen)
+			}
+			u.MED, u.HasMED = binary.BigEndian.Uint32(val), true
+		case AttrLocalPref:
+			if vlen != 4 {
+				return u, fmt.Errorf("wire: LOCAL_PREF length %d", vlen)
+			}
+			u.LocalPref, u.HasLocal = binary.BigEndian.Uint32(val), true
+		case AttrCommunities:
+			if vlen%4 != 0 {
+				return u, fmt.Errorf("wire: COMMUNITIES length %d", vlen)
+			}
+			for i := 0; i < vlen; i += 4 {
+				u.Communities = append(u.Communities, binary.BigEndian.Uint32(val[i:]))
+			}
+		default:
+			// Unknown attributes are ignored (a well-known mandatory
+			// check belongs to a full implementation).
+		}
+	}
+	return u, nil
+}
+
+// --- NOTIFICATION ---------------------------------------------------------
+
+// Notification error codes (RFC 4271 §4.5).
+const (
+	NotifMessageHeader = 1
+	NotifOpenError     = 2
+	NotifUpdateError   = 3
+	NotifHoldTimer     = 4
+	NotifFSMError      = 5
+	NotifCease         = 6
+)
+
+// Notification is the NOTIFICATION message; sending one closes the session.
+type Notification struct {
+	Code, Subcode byte
+	Data          []byte
+}
+
+// Type implements Message.
+func (Notification) Type() byte { return TypeNotification }
+
+func (n Notification) marshalBody(dst []byte) ([]byte, error) {
+	dst = append(dst, n.Code, n.Subcode)
+	return append(dst, n.Data...), nil
+}
+
+func unmarshalNotification(b []byte) (Notification, error) {
+	if len(b) < 2 {
+		return Notification{}, ErrTruncated
+	}
+	return Notification{Code: b[0], Subcode: b[1], Data: append([]byte(nil), b[2:]...)}, nil
+}
+
+// Error renders the notification as an error string.
+func (n Notification) Error() string {
+	return fmt.Sprintf("bgp notification code=%d subcode=%d", n.Code, n.Subcode)
+}
+
+// --- KEEPALIVE -------------------------------------------------------------
+
+// Keepalive is the KEEPALIVE message (header only).
+type Keepalive struct{}
+
+// Type implements Message.
+func (Keepalive) Type() byte { return TypeKeepalive }
+
+func (Keepalive) marshalBody(dst []byte) ([]byte, error) { return dst, nil }

@@ -1,0 +1,271 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func roundTrip(t *testing.T, m Message) Message {
+	t.Helper()
+	b, err := Marshal(m)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	got, n, err := Unmarshal(b)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d bytes", n, len(b))
+	}
+	return got
+}
+
+func TestKeepaliveRoundTrip(t *testing.T) {
+	got := roundTrip(t, Keepalive{})
+	if _, ok := got.(Keepalive); !ok {
+		t.Fatalf("got %T", got)
+	}
+	b, _ := Marshal(Keepalive{})
+	if len(b) != HeaderLen {
+		t.Fatalf("keepalive length = %d, want %d", len(b), HeaderLen)
+	}
+}
+
+func TestOpenRoundTrip(t *testing.T) {
+	in := Open{
+		AS:       64512,
+		HoldTime: 90,
+		BGPID:    netip.MustParseAddr("10.0.0.1"),
+		Capabilities: []Capability{
+			{Code: 1, Value: []byte{0, 1, 0, 1}}, // MP: ipv4 unicast
+			{Code: 2},                            // route refresh
+		},
+	}
+	got := roundTrip(t, in).(Open)
+	if got.Version != 4 {
+		t.Fatalf("version = %d", got.Version)
+	}
+	if got.AS != in.AS || got.HoldTime != in.HoldTime || got.BGPID != in.BGPID {
+		t.Fatalf("got %+v", got)
+	}
+	if len(got.Capabilities) != 2 || got.Capabilities[0].Code != 1 ||
+		!bytes.Equal(got.Capabilities[0].Value, in.Capabilities[0].Value) {
+		t.Fatalf("capabilities = %+v", got.Capabilities)
+	}
+}
+
+func TestOpenNoCapabilities(t *testing.T) {
+	in := Open{AS: 1, HoldTime: 180, BGPID: netip.MustParseAddr("192.0.2.1")}
+	got := roundTrip(t, in).(Open)
+	if len(got.Capabilities) != 0 {
+		t.Fatalf("capabilities = %+v", got.Capabilities)
+	}
+}
+
+func TestUpdateRoundTripPoisonedAnnouncement(t *testing.T) {
+	// The exact shape LIFEGUARD emits: production /24 announced with the
+	// poisoned path O-A-O.
+	in := Update{
+		Origin:      OriginIGP,
+		ASPath:      []uint16{64512, 3356, 64512},
+		NextHop:     netip.MustParseAddr("198.51.100.1"),
+		Communities: []uint32{0xFDE80001},
+		NLRI:        []netip.Prefix{netip.MustParsePrefix("184.164.240.0/24")},
+	}
+	got := roundTrip(t, in).(Update)
+	if len(got.ASPath) != 3 || got.ASPath[1] != 3356 {
+		t.Fatalf("AS path = %v", got.ASPath)
+	}
+	if got.NextHop != in.NextHop {
+		t.Fatalf("next hop = %v", got.NextHop)
+	}
+	if len(got.NLRI) != 1 || got.NLRI[0] != in.NLRI[0] {
+		t.Fatalf("nlri = %v", got.NLRI)
+	}
+	if len(got.Communities) != 1 || got.Communities[0] != 0xFDE80001 {
+		t.Fatalf("communities = %v", got.Communities)
+	}
+	if got.HasMED || got.HasLocal {
+		t.Fatal("phantom optional attributes")
+	}
+}
+
+func TestUpdateWithdrawOnly(t *testing.T) {
+	in := Update{Withdrawn: []netip.Prefix{
+		netip.MustParsePrefix("10.1.0.0/16"),
+		netip.MustParsePrefix("10.2.3.0/24"),
+	}}
+	got := roundTrip(t, in).(Update)
+	if len(got.Withdrawn) != 2 || got.Withdrawn[1] != in.Withdrawn[1] {
+		t.Fatalf("withdrawn = %v", got.Withdrawn)
+	}
+	if len(got.NLRI) != 0 || len(got.ASPath) != 0 {
+		t.Fatalf("unexpected announce content: %+v", got)
+	}
+}
+
+func TestUpdateMEDAndLocalPref(t *testing.T) {
+	in := Update{
+		ASPath:    []uint16{1},
+		NextHop:   netip.MustParseAddr("10.0.0.9"),
+		MED:       77,
+		HasMED:    true,
+		LocalPref: 300,
+		HasLocal:  true,
+		NLRI:      []netip.Prefix{netip.MustParsePrefix("192.0.2.0/25")},
+	}
+	got := roundTrip(t, in).(Update)
+	if !got.HasMED || got.MED != 77 || !got.HasLocal || got.LocalPref != 300 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestNLRIOddLengths(t *testing.T) {
+	// Prefix lengths that don't fall on octet boundaries must survive.
+	for _, s := range []string{"10.0.0.0/8", "10.128.0.0/9", "10.32.0.0/11", "192.0.2.128/25", "203.0.113.7/32", "0.0.0.0/0"} {
+		p := netip.MustParsePrefix(s)
+		in := Update{ASPath: []uint16{1}, NextHop: netip.MustParseAddr("10.0.0.1"), NLRI: []netip.Prefix{p}}
+		got := roundTrip(t, in).(Update)
+		if got.NLRI[0] != p {
+			t.Fatalf("prefix %v became %v", p, got.NLRI[0])
+		}
+	}
+}
+
+func TestNotificationRoundTripAndError(t *testing.T) {
+	in := Notification{Code: NotifHoldTimer, Subcode: 0, Data: []byte("x")}
+	got := roundTrip(t, in).(Notification)
+	if got.Code != NotifHoldTimer || !bytes.Equal(got.Data, []byte("x")) {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Error() == "" {
+		t.Fatal("empty error string")
+	}
+}
+
+func TestUnmarshalRejectsGarbage(t *testing.T) {
+	ka, _ := Marshal(Keepalive{})
+
+	bad := append([]byte(nil), ka...)
+	bad[0] = 0
+	if _, _, err := Unmarshal(bad); err != ErrBadMarker {
+		t.Fatalf("marker: %v", err)
+	}
+
+	bad = append([]byte(nil), ka...)
+	bad[17] = 5 // length 5 < header
+	if _, _, err := Unmarshal(bad); err != ErrBadLength {
+		t.Fatalf("length: %v", err)
+	}
+
+	if _, _, err := Unmarshal(ka[:10]); err != ErrTruncated {
+		t.Fatalf("truncated: %v", err)
+	}
+
+	bad = append([]byte(nil), ka...)
+	bad[18] = 9
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("bad type accepted")
+	}
+
+	// Keepalive with a body.
+	bad, _ = Marshal(Keepalive{})
+	bad = append(bad, 0)
+	bad[17] = byte(len(bad))
+	if _, _, err := Unmarshal(bad); err == nil {
+		t.Fatal("keepalive body accepted")
+	}
+}
+
+func TestUnmarshalStreamFraming(t *testing.T) {
+	// Two messages back to back: Unmarshal must report the right consume
+	// count so a reader can iterate.
+	m1, _ := Marshal(Keepalive{})
+	m2, _ := Marshal(Notification{Code: NotifCease})
+	stream := append(append([]byte(nil), m1...), m2...)
+	got1, n1, err := Unmarshal(stream)
+	if err != nil || n1 != len(m1) {
+		t.Fatalf("first: %v %d", err, n1)
+	}
+	if _, ok := got1.(Keepalive); !ok {
+		t.Fatalf("first type %T", got1)
+	}
+	got2, n2, err := Unmarshal(stream[n1:])
+	if err != nil || n2 != len(m2) {
+		t.Fatalf("second: %v %d", err, n2)
+	}
+	if nt, ok := got2.(Notification); !ok || nt.Code != NotifCease {
+		t.Fatalf("second = %+v", got2)
+	}
+}
+
+// Property: random updates survive a marshal/unmarshal round trip.
+func TestUpdateRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		in := Update{
+			Origin:  byte(rng.Intn(3)),
+			NextHop: netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), 1, 1}),
+		}
+		for i, n := 0, rng.Intn(6)+1; i < n; i++ {
+			in.ASPath = append(in.ASPath, uint16(rng.Intn(65535)+1))
+		}
+		for i, n := 0, rng.Intn(4)+1; i < n; i++ {
+			bits := rng.Intn(25) + 8
+			addr := netip.AddrFrom4([4]byte{byte(rng.Intn(223) + 1), byte(rng.Intn(256)), byte(rng.Intn(256)), 0})
+			in.NLRI = append(in.NLRI, netip.PrefixFrom(addr, bits).Masked())
+		}
+		for i, n := 0, rng.Intn(3); i < n; i++ {
+			in.Communities = append(in.Communities, rng.Uint32())
+		}
+		got := roundTrip(t, in).(Update)
+		if len(got.ASPath) != len(in.ASPath) || len(got.NLRI) != len(in.NLRI) {
+			return false
+		}
+		for i := range in.ASPath {
+			if got.ASPath[i] != in.ASPath[i] {
+				return false
+			}
+		}
+		for i := range in.NLRI {
+			if got.NLRI[i] != in.NLRI[i] {
+				return false
+			}
+		}
+		for i := range in.Communities {
+			if got.Communities[i] != in.Communities[i] {
+				return false
+			}
+		}
+		return got.NextHop == in.NextHop && got.Origin == in.Origin
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarshalRejectsOversized(t *testing.T) {
+	u := Update{ASPath: []uint16{1}, NextHop: netip.MustParseAddr("10.0.0.1")}
+	for i := 0; i < 1200; i++ {
+		u.NLRI = append(u.NLRI, netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(i >> 8), byte(i), 0}), 24))
+	}
+	if _, err := Marshal(u); err != ErrMsgTooLarge {
+		t.Fatalf("err = %v, want ErrMsgTooLarge", err)
+	}
+}
+
+func TestMarshalRejectsNonV4(t *testing.T) {
+	u := Update{ASPath: []uint16{1}, NextHop: netip.MustParseAddr("::1"),
+		NLRI: []netip.Prefix{netip.MustParsePrefix("10.0.0.0/8")}}
+	if _, err := Marshal(u); err == nil {
+		t.Fatal("v6 next hop accepted")
+	}
+	o := Open{BGPID: netip.MustParseAddr("::1")}
+	if _, err := Marshal(o); err == nil {
+		t.Fatal("v6 BGP ID accepted")
+	}
+}

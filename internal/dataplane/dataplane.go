@@ -1,0 +1,388 @@
+// Package dataplane forwards packets hop-by-hop over the router graph,
+// driven by the BGP engine's instantaneous RIBs. Its defining feature is the
+// failure injector: rules that silently drop matching packets at an AS, a
+// router, or a (directed) link while leaving the control plane untouched —
+// the "router advertises a route but fails to deliver packets" condition the
+// paper studies. Unidirectional failures are expressed by scoping a rule to
+// a destination prefix or direction, which is what makes traceroute mislead
+// and LIFEGUARD's spoofed-probe isolation necessary.
+package dataplane
+
+import (
+	"fmt"
+	"net/netip"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/topo"
+)
+
+// RIB is the routing state the data plane consults; *bgp.Engine satisfies it.
+type RIB interface {
+	Lookup(asn topo.ASN, addr netip.Addr) (*bgp.Route, bool)
+}
+
+// Reason explains why a packet stopped.
+type Reason int
+
+// Packet outcomes.
+const (
+	Delivered Reason = iota
+	NoRoute          // an on-path AS had no route to the destination
+	Blackhole        // matched a failure rule
+	TTLExpired
+	ForwardLoop // forwarding loop guard (beyond TTL accounting)
+)
+
+// String names the reason.
+func (r Reason) String() string {
+	switch r {
+	case Delivered:
+		return "delivered"
+	case NoRoute:
+		return "no-route"
+	case Blackhole:
+		return "blackhole"
+	case TTLExpired:
+		return "ttl-expired"
+	case ForwardLoop:
+		return "forward-loop"
+	default:
+		return "unknown"
+	}
+}
+
+// Packet is a forwarded datagram. Src is the claimed source address and is
+// spoofable: forwarding consults only Dst, but replies go to Src.
+type Packet struct {
+	Src netip.Addr
+	Dst netip.Addr
+	TTL int // hops remaining; 0 means the default of 64
+}
+
+// DefaultTTL is used when Packet.TTL is zero.
+const DefaultTTL = 64
+
+// Hop records one router the packet transited.
+type Hop struct {
+	Router topo.RouterID
+	AS     topo.ASN
+	Addr   netip.Addr
+}
+
+// Result reports a packet's fate. Hops lists every router traversed, in
+// order, up to and including the router where the packet stopped.
+type Result struct {
+	Reason Reason
+	Hops   []Hop
+	// LastAS/LastRouter locate where the packet stopped (delivery router
+	// for Delivered, drop point otherwise). Valid when len(Hops) > 0.
+	LastAS     topo.ASN
+	LastRouter topo.RouterID
+}
+
+// Delivered reports whether the packet reached its destination.
+func (r *Result) Delivered() bool { return r.Reason == Delivered }
+
+// ASPath returns the distinct ASes traversed, in order.
+func (r *Result) ASPath() topo.Path {
+	var p topo.Path
+	for _, h := range r.Hops {
+		if len(p) == 0 || p[len(p)-1] != h.AS {
+			p = append(p, h.AS)
+		}
+	}
+	return p
+}
+
+// FailureID names an installed failure rule.
+type FailureID int
+
+// Rule describes one silent data-plane failure. Zero-valued matchers are
+// wildcards; a rule drops a packet when all its non-zero matchers agree.
+type Rule struct {
+	// AtAS drops packets forwarded by any router of this AS.
+	AtAS topo.ASN
+	// AtRouter drops packets transiting one router (HasRouter gates it,
+	// since RouterID 0 is valid).
+	AtRouter  topo.RouterID
+	HasRouter bool
+	// FromRouter/ToRouter drop packets crossing a specific router link in
+	// that direction.
+	FromRouter, ToRouter topo.RouterID
+	HasLink              bool
+	// FromAS/ToAS drop packets crossing any border link from FromAS to
+	// ToAS (directed AS-level link failure; install the mirror rule too
+	// for a bidirectional failure).
+	FromAS, ToAS topo.ASN
+	// DstWithin/SrcWithin restrict the rule to matching destinations or
+	// (claimed) sources. This is how unidirectional AS failures are
+	// expressed: "AS X drops everything destined to prefix P".
+	DstWithin, SrcWithin netip.Prefix
+	// TransitOnly exempts packets destined to the failed AS itself, for
+	// modelling faults that only affect through-traffic.
+	TransitOnly bool
+}
+
+// BlackholeAS returns a rule dropping all traffic forwarded by asn.
+func BlackholeAS(asn topo.ASN) Rule { return Rule{AtAS: asn} }
+
+// BlackholeASTowards returns a rule where asn silently drops traffic
+// destined to dst — the canonical unidirectional ("reverse path") failure.
+func BlackholeASTowards(asn topo.ASN, dst netip.Prefix) Rule {
+	return Rule{AtAS: asn, DstWithin: dst}
+}
+
+// BlackholeRouter returns a rule dropping all traffic through one router.
+func BlackholeRouter(id topo.RouterID) Rule {
+	return Rule{AtRouter: id, HasRouter: true}
+}
+
+// DropASLink returns a rule dropping traffic crossing from AS a to AS b.
+func DropASLink(a, b topo.ASN) Rule { return Rule{FromAS: a, ToAS: b} }
+
+// DropRouterLink returns a rule dropping traffic crossing the router link
+// a→b.
+func DropRouterLink(a, b topo.RouterID) Rule {
+	return Rule{FromRouter: a, ToRouter: b, HasLink: true}
+}
+
+// Plane forwards packets. It is cheap to construct and holds no per-packet
+// state, so a single Plane serves an entire simulation.
+type Plane struct {
+	top      *topo.Topology
+	rib      RIB
+	failures map[FailureID]Rule
+	nextID   FailureID
+}
+
+// New returns a data plane over the topology, consulting rib at each AS.
+func New(top *topo.Topology, rib RIB) *Plane {
+	return &Plane{top: top, rib: rib, failures: make(map[FailureID]Rule)}
+}
+
+// AddFailure installs a failure rule and returns its handle.
+func (pl *Plane) AddFailure(r Rule) FailureID {
+	pl.nextID++
+	pl.failures[pl.nextID] = r
+	return pl.nextID
+}
+
+// RemoveFailure uninstalls a rule; it reports whether the rule existed.
+func (pl *Plane) RemoveFailure(id FailureID) bool {
+	if _, ok := pl.failures[id]; !ok {
+		return false
+	}
+	delete(pl.failures, id)
+	return true
+}
+
+// ClearFailures removes all rules.
+func (pl *Plane) ClearFailures() { clear(pl.failures) }
+
+// matchCtx carries the packet context rules are evaluated against.
+type matchCtx struct {
+	pkt   Packet
+	dstAS topo.ASN // owner of the destination address block
+}
+
+func (pl *Plane) dropAtRouter(c *matchCtx, r topo.RouterID) bool {
+	as := pl.top.Router(r).AS
+	for _, rule := range pl.failures {
+		if rule.HasLink || (rule.FromAS != 0 || rule.ToAS != 0) {
+			continue // link rules checked at crossings
+		}
+		if rule.AtAS != 0 && rule.AtAS != as {
+			continue
+		}
+		if rule.HasRouter && rule.AtRouter != r {
+			continue
+		}
+		if rule.AtAS == 0 && !rule.HasRouter {
+			continue // empty rule matches nothing
+		}
+		if !rule.pktMatch(c) {
+			continue
+		}
+		if rule.TransitOnly && c.dstAS == as {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (pl *Plane) dropAtCrossing(c *matchCtx, from, to topo.RouterID) bool {
+	fromAS, toAS := pl.top.Router(from).AS, pl.top.Router(to).AS
+	for _, rule := range pl.failures {
+		switch {
+		case rule.HasLink:
+			if rule.FromRouter != from || rule.ToRouter != to {
+				continue
+			}
+		case rule.FromAS != 0 || rule.ToAS != 0:
+			if rule.FromAS != fromAS || rule.ToAS != toAS {
+				continue
+			}
+		default:
+			continue
+		}
+		if !rule.pktMatch(c) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+func (r *Rule) pktMatch(c *matchCtx) bool {
+	if r.DstWithin.IsValid() && !r.DstWithin.Contains(c.pkt.Dst) {
+		return false
+	}
+	if r.SrcWithin.IsValid() && !r.SrcWithin.Contains(c.pkt.Src) {
+		return false
+	}
+	return true
+}
+
+// Forward injects pkt at router "from" (the sender's gateway) and walks it
+// to its fate. The sender's own router does not consume TTL.
+func (pl *Plane) Forward(from topo.RouterID, pkt Packet) Result {
+	ttl := pkt.TTL
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	c := &matchCtx{pkt: pkt}
+	if owner, ok := topo.OwnerOf(pkt.Dst); ok {
+		c.dstAS = owner
+	}
+
+	res := Result{}
+	cur := from
+	first := true
+	step := func(r topo.RouterID) Reason {
+		// Record the hop, spend TTL, apply router-scoped rules.
+		rt := pl.top.Router(r)
+		res.Hops = append(res.Hops, Hop{Router: r, AS: rt.AS, Addr: rt.Addr})
+		res.LastAS, res.LastRouter = rt.AS, r
+		if !first {
+			ttl--
+			if ttl <= 0 {
+				return TTLExpired
+			}
+		}
+		first = false
+		if pl.dropAtRouter(c, r) {
+			return Blackhole
+		}
+		return Delivered
+	}
+
+	if rsn := step(cur); rsn != Delivered {
+		res.Reason = rsn
+		return res
+	}
+
+	for {
+		if len(res.Hops) > 4*DefaultTTL {
+			res.Reason = ForwardLoop
+			return res
+		}
+		curAS := pl.top.Router(cur).AS
+		route, ok := pl.rib.Lookup(curAS, pkt.Dst)
+		if !ok {
+			res.Reason = NoRoute
+			return res
+		}
+		if route.Originated {
+			// Local delivery: walk to the destination router, or to
+			// the AS hub standing in for prefix-hosted addresses.
+			target := pl.hostRouter(curAS, pkt.Dst)
+			for _, r := range pl.intraPath(cur, target) {
+				if rsn := step(r); rsn != Delivered {
+					res.Reason = rsn
+					return res
+				}
+			}
+			res.Reason = Delivered
+			return res
+		}
+		nextAS, _ := route.NextHop()
+		borders := pl.top.BorderRouters(curAS, nextAS)
+		if len(borders) == 0 {
+			panic(fmt.Sprintf("dataplane: AS %d routes to non-adjacent AS %d", curAS, nextAS))
+		}
+		egress, ingress := borders[0][0], borders[0][1]
+		for _, r := range pl.intraPath(cur, egress) {
+			if rsn := step(r); rsn != Delivered {
+				res.Reason = rsn
+				return res
+			}
+		}
+		if pl.dropAtCrossing(c, egress, ingress) {
+			res.Reason = Blackhole
+			return res
+		}
+		if rsn := step(ingress); rsn != Delivered {
+			res.Reason = rsn
+			return res
+		}
+		cur = ingress
+	}
+}
+
+// hostRouter resolves the router that terminates dst inside asn: the exact
+// router if dst is an interface address, otherwise the AS hub (first
+// router), which stands in for hosts of announced prefixes.
+func (pl *Plane) hostRouter(asn topo.ASN, dst netip.Addr) topo.RouterID {
+	if r, ok := pl.top.RouterByAddr(dst); ok && r.AS == asn {
+		return r.ID
+	}
+	as := pl.top.AS(asn)
+	if len(as.Routers) == 0 {
+		panic(fmt.Sprintf("dataplane: AS %d has no routers", asn))
+	}
+	return as.Routers[0]
+}
+
+// intraPath returns the routers strictly after "from" on the shortest
+// intra-AS path from → to (empty when from == to). BFS over intra-AS links;
+// ties break by adjacency order, which is fixed at Build time.
+func (pl *Plane) intraPath(from, to topo.RouterID) []topo.RouterID {
+	if from == to {
+		return nil
+	}
+	asn := pl.top.Router(from).AS
+	if pl.top.Router(to).AS != asn {
+		panic("dataplane: intraPath across ASes")
+	}
+	prev := map[topo.RouterID]topo.RouterID{from: from}
+	queue := []topo.RouterID{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == to {
+			break
+		}
+		for _, n := range pl.top.RouterNeighbors(cur) {
+			if pl.top.Router(n).AS != asn {
+				continue
+			}
+			if _, seen := prev[n]; !seen {
+				prev[n] = cur
+				queue = append(queue, n)
+			}
+		}
+	}
+	if _, ok := prev[to]; !ok {
+		panic(fmt.Sprintf("dataplane: no intra-AS path %d -> %d in AS %d", from, to, asn))
+	}
+	var rev []topo.RouterID
+	for cur := to; cur != from; cur = prev[cur] {
+		rev = append(rev, cur)
+	}
+	out := make([]topo.RouterID, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out
+}

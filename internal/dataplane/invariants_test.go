@@ -1,0 +1,97 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+	"lifeguard/internal/topogen"
+)
+
+// TestForwardingMatchesControlPlane checks the defining data-plane
+// invariant: with no failures installed, every delivered packet's AS-level
+// trajectory equals the sender's RIB path (poison tokens excluded), and
+// every packet toward a routable destination is delivered.
+func TestForwardingMatchesControlPlane(t *testing.T) {
+	res, err := topogen.Generate(topogen.Config{Seed: 11, NumTransit: 20, NumStub: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	eng := bgp.New(res.Top, clk, bgp.Config{Seed: 11})
+	for _, asn := range res.Top.ASNs() {
+		eng.Originate(asn, topo.Block(asn))
+	}
+	if !eng.Converge(500_000_000) {
+		t.Fatal("no convergence")
+	}
+	pl := New(res.Top, eng)
+	rng := rand.New(rand.NewSource(77))
+	all := res.Top.ASNs()
+	for trial := 0; trial < 300; trial++ {
+		src := all[rng.Intn(len(all))]
+		dst := all[rng.Intn(len(all))]
+		if src == dst {
+			continue
+		}
+		dstAddr := res.Top.Router(res.Top.AS(dst).Routers[0]).Addr
+		rib := eng.ASPathTo(src, dstAddr)
+		if rib == nil {
+			t.Fatalf("AS%d has no route to AS%d", src, dst)
+		}
+		resl := pl.Forward(res.Top.AS(src).Routers[0], Packet{Dst: dstAddr})
+		if !resl.Delivered() {
+			t.Fatalf("AS%d -> AS%d not delivered: %v", src, dst, resl.Reason)
+		}
+		// Expected AS trajectory: src, then the RIB path's transit hops
+		// up to (and including) the origin.
+		want := topo.Path{src}
+		for _, a := range rib {
+			want = append(want, a)
+			if a == dst {
+				break
+			}
+		}
+		if got := resl.ASPath(); !got.Equal(want) {
+			t.Fatalf("AS%d -> AS%d walked %v, RIB says %v", src, dst, got, want)
+		}
+	}
+}
+
+// TestTTLAccounting checks that hop counts are consistent: a packet with
+// TTL exactly len(hops)-1 delivers, one less expires.
+func TestTTLAccounting(t *testing.T) {
+	res, err := topogen.Generate(topogen.Config{Seed: 12, NumTransit: 15, NumStub: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	eng := bgp.New(res.Top, clk, bgp.Config{Seed: 12})
+	for _, asn := range res.Top.ASNs() {
+		eng.Originate(asn, topo.Block(asn))
+	}
+	eng.Converge(500_000_000)
+	pl := New(res.Top, eng)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		src := res.Stubs[rng.Intn(len(res.Stubs))]
+		dst := res.Stubs[rng.Intn(len(res.Stubs))]
+		if src == dst {
+			continue
+		}
+		dstAddr := res.Top.Router(res.Top.AS(dst).Routers[0]).Addr
+		full := pl.Forward(res.Top.AS(src).Routers[0], Packet{Dst: dstAddr})
+		if !full.Delivered() {
+			t.Fatalf("baseline not delivered: %v", full.Reason)
+		}
+		need := len(full.Hops) - 1 // source router spends no TTL
+		if res := pl.Forward(res.Top.AS(src).Routers[0], Packet{Dst: dstAddr, TTL: need + 1}); !res.Delivered() {
+			t.Fatalf("TTL %d should deliver (%d hops)", need+1, len(full.Hops))
+		}
+		if res := pl.Forward(res.Top.AS(src).Routers[0], Packet{Dst: dstAddr, TTL: need - 1}); res.Reason != TTLExpired {
+			t.Fatalf("TTL %d should expire, got %v", need-1, res.Reason)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§2 and §5). Each experiment returns a Result holding rendered
+// tables, the headline numbers as machine-readable values (so benchmarks
+// and tests can assert on the shape), and notes comparing against the
+// numbers the paper reports. The absolute values come from a simulated
+// internetwork rather than the authors' testbed; EXPERIMENTS.md records the
+// paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lifeguard/internal/metrics"
+)
+
+// Result is the outcome of one experiment.
+type Result struct {
+	// ID names the experiment after the paper artifact it regenerates
+	// ("fig1", "tab2", "sec5.2-loss", ...).
+	ID string
+	// Title is a human-readable one-liner.
+	Title string
+	// Tables are the rendered rows, mirroring the paper's presentation.
+	Tables []*metrics.Table
+	// Values holds the headline numbers, keyed by stable names, for
+	// programmatic assertions.
+	Values map[string]float64
+	// Notes records paper-vs-measured commentary.
+	Notes []string
+}
+
+func newResult(id, title string) *Result {
+	return &Result{ID: id, Title: title, Values: make(map[string]float64)}
+}
+
+func (r *Result) addTable(t *metrics.Table) { r.Tables = append(r.Tables, t) }
+
+func (r *Result) notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the full report.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	if len(r.Values) > 0 {
+		keys := make([]string, 0, len(r.Values))
+		for k := range r.Values {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteString("values:\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "  %-40s %.4f\n", k, r.Values[k])
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Experiment couples an ID with its runner.
+type Experiment struct {
+	ID    string
+	Brief string
+	Run   func(seed int64) *Result
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig1", "outage duration CDF vs share of unavailability (§2.1)", Fig1},
+		{"fig5", "residual outage duration after X minutes (§4.2)", Fig5},
+		{"alt", "policy-compliant alternate paths during outages (§2.2)", AltPaths},
+		{"fwd", "forward-path provider diversity (§2.3)", ForwardDiversity},
+		{"efficacy", "poisoning efficacy: testbed + large-scale simulation (Table 1, §5.1)", Efficacy},
+		{"fig6", "per-peer and global convergence after poisoning (Fig. 6, §5.2)", Convergence},
+		{"loss", "packet loss during post-poisoning convergence (§5.2)", ConvergenceLoss},
+		{"selective", "selective poisoning of AS links (§5.2)", Selective},
+		{"accuracy", "failure isolation accuracy vs traceroute (Table 1, §5.3)", Accuracy},
+		{"scale", "atlas refresh and isolation overhead (§5.4)", Scalability},
+		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", Table2},
+		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", Baselines},
+	}
+}
+
+// ByID returns the experiment (paper artifact or ablation) with the given
+// ID.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range append(All(), Ablations()...) {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"time"
+
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/outage"
+)
+
+// hubblePoisonableAt15PerDay anchors the outage rate: the paper derives
+// P(d) from the Hubble dataset, and its Table 2 implies P(15 min) ≈ 27,500
+// poisonable outages per day Internet-wide (137 daily path changes at
+// I=0.005·T·U=1 scaling — see §5.4). We generate a workload with the
+// calibrated duration distribution and rescale its event rate to match this
+// anchor, then read P(5) and P(60) off the same distribution.
+const hubblePoisonableAt15PerDay = 27500.0
+
+// Table2 regenerates Table 2: the number of additional daily path changes
+// per router caused by poisoning, for a grid of adoption fraction I,
+// monitored fraction T, and poisoning delay d. U (updates per router per
+// poison) is ~1, measured from the convergence experiments.
+func Table2(seed int64) *Result {
+	r := newResult("tab2", "daily path-change load from poisoning at scale")
+	events := outage.Generate(outage.Config{Seed: seed, N: 200000})
+
+	rawP15 := outage.PoisonableRate(events, 15*time.Minute)
+	scale := hubblePoisonableAt15PerDay / rawP15
+	p := func(d time.Duration) float64 {
+		return outage.PoisonableRate(events, d) * scale
+	}
+	pd := map[int]float64{5: p(5 * time.Minute), 15: p(15 * time.Minute), 60: p(time.Hour)}
+
+	tab := &metrics.Table{
+		Title:  "Table 2 — additional daily path changes (U = 1)",
+		Header: []string{"I", "T", "d=5min", "d=15min", "d=60min"},
+	}
+	for _, I := range []float64{0.01, 0.1, 0.5} {
+		for _, T := range []float64{0.5, 1.0} {
+			tab.AddRow(I, T, I*T*pd[5], I*T*pd[15], I*T*pd[60])
+		}
+	}
+	r.addTable(tab)
+
+	r.Values["P_5min_per_day"] = pd[5]
+	r.Values["P_15min_per_day"] = pd[15]
+	r.Values["P_60min_per_day"] = pd[60]
+	r.Values["load_I0.01_T0.5_d5"] = 0.01 * 0.5 * pd[5]
+	r.Values["load_I0.5_T1_d5"] = 0.5 * 1.0 * pd[5]
+	r.Values["load_I0.01_T0.5_d15"] = 0.01 * 0.5 * pd[15]
+
+	r.notef("paper Table 2 @ I=0.01,T=0.5: 393 (d=5), 137 (d=15), 58 (d=60); measured %.0f / %.0f / %.0f",
+		0.005*pd[5], 0.005*pd[15], 0.005*pd[60])
+	r.notef("paper: routers make 110K-315K updates/day, so small deployments add <1%% load")
+	r.notef("rate anchored to the paper's Hubble-derived P(15min)=%.0f/day; the d=5 and d=60 columns test whether our duration distribution reproduces the paper's survival ratios", hubblePoisonableAt15PerDay)
+	return r
+}

@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestPercentileSmall(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Add(v)
+	}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75}, {75, 3.25},
+	}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); !almost(got, c.want) {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Percentile(50)) || !math.IsNaN(s.Mean()) {
+		t.Fatal("empty sample should give NaN")
+	}
+}
+
+func TestMeanSumMinMax(t *testing.T) {
+	var s Sample
+	s.Add(2)
+	s.Add(6)
+	s.Add(4)
+	if !almost(s.Mean(), 4) || !almost(s.Sum(), 12) {
+		t.Fatalf("mean=%v sum=%v", s.Mean(), s.Sum())
+	}
+	if s.Min() != 2 || s.Max() != 6 {
+		t.Fatalf("min=%v max=%v", s.Min(), s.Max())
+	}
+}
+
+func TestAddDuration(t *testing.T) {
+	var s Sample
+	s.AddDuration(90 * time.Second)
+	if !almost(s.Mean(), 90) {
+		t.Fatalf("mean = %v, want 90", s.Mean())
+	}
+}
+
+func TestFractionAtMost(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4, 5} {
+		s.Add(v)
+	}
+	if got := s.FractionAtMost(3); !almost(got, 0.6) {
+		t.Fatalf("FractionAtMost(3) = %v, want 0.6", got)
+	}
+	if got := s.FractionAtMost(0.5); !almost(got, 0) {
+		t.Fatalf("FractionAtMost(0.5) = %v, want 0", got)
+	}
+	if got := s.FractionAtMost(10); !almost(got, 1) {
+		t.Fatalf("FractionAtMost(10) = %v, want 1", got)
+	}
+}
+
+func TestWeightedCDF(t *testing.T) {
+	// Observations 1 and 9: value 1 contributes 10% of total weight.
+	var s Sample
+	s.Add(1)
+	s.Add(9)
+	pts := s.WeightedCDF([]float64{1, 9})
+	if !almost(pts[0].Frac, 0.1) || !almost(pts[1].Frac, 1) {
+		t.Fatalf("WeightedCDF = %+v", pts)
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	// A heavy-tailed sample where most events are short but long events
+	// dominate total weight — the Fig. 1 phenomenon must be expressible.
+	var s Sample
+	for i := 0; i < 95; i++ {
+		s.Add(2) // 95 short outages, 2 min each
+	}
+	for i := 0; i < 5; i++ {
+		s.Add(200) // 5 long outages, 200 min each
+	}
+	if got := s.FractionAtMost(10); got < 0.9 {
+		t.Fatalf("fraction of events <= 10 = %v, want >= 0.9", got)
+	}
+	w := s.WeightedCDF([]float64{10})[0].Frac
+	if w > 0.25 {
+		t.Fatalf("weight of short events = %v, want small", w)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	xs := LogSpace(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(xs[i]-want[i])/want[i] > 1e-6 {
+			t.Fatalf("LogSpace = %v", xs)
+		}
+	}
+	if got := LogSpace(0, 10, 5); len(got) != 2 {
+		t.Fatalf("degenerate LogSpace = %v", got)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Observe(true)
+	c.Observe(true)
+	c.Observe(false)
+	if c.Hits != 2 || c.Total != 3 {
+		t.Fatalf("counter = %+v", c)
+	}
+	if !almost(c.Fraction(), 2.0/3.0) {
+		t.Fatalf("fraction = %v", c.Fraction())
+	}
+	if !strings.Contains(c.String(), "2/3") {
+		t.Fatalf("String = %q", c.String())
+	}
+	var empty Counter
+	if !math.IsNaN(empty.Fraction()) {
+		t.Fatal("empty counter fraction should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{Title: "demo", Header: []string{"name", "pct"}}
+	tab.AddRow("alpha", 12.345)
+	tab.AddRow("b", 1)
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "12.35") {
+		t.Fatalf("float not formatted: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("got %d lines: %q", len(lines), out)
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			s.Add(v)
+		}
+		pa, pb := float64(a%101), float64(b%101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, vb := s.Percentile(pa), s.Percentile(pb)
+		return va <= vb && va >= s.Min() && vb <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FractionAtMost is a CDF — monotone, 0 below min, 1 at max.
+func TestCDFProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var s Sample
+	for i := 0; i < 500; i++ {
+		s.Add(rng.ExpFloat64() * 10)
+	}
+	prev := 0.0
+	for _, x := range LogSpace(0.01, 1000, 50) {
+		f := s.FractionAtMost(x)
+		if f < prev {
+			t.Fatalf("CDF decreased at x=%v: %v < %v", x, f, prev)
+		}
+		prev = f
+	}
+	if !almost(s.FractionAtMost(s.Max()), 1) {
+		t.Fatal("CDF at max != 1")
+	}
+}

@@ -1,0 +1,154 @@
+package outage
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFig1Calibration(t *testing.T) {
+	// The generated workload must reproduce the paper's headline marginals:
+	// >90% of outages last at most 10 minutes, but outages longer than 10
+	// minutes carry ~84% of total unavailability.
+	events := Generate(Config{Seed: 1, N: 50000})
+	s := Durations(events)
+	fracShort := s.FractionAtMost((10 * time.Minute).Seconds())
+	if fracShort < 0.88 || fracShort > 0.95 {
+		t.Fatalf("fraction <=10min = %.3f, want ~0.90", fracShort)
+	}
+	shortWeight := s.WeightedCDF([]float64{(10 * time.Minute).Seconds()})[0].Frac
+	longShare := 1 - shortWeight
+	if longShare < 0.72 || longShare > 0.92 {
+		t.Fatalf("unavailability share of >10min outages = %.3f, want ~0.84", longShare)
+	}
+}
+
+func TestMinimumDurationFloor(t *testing.T) {
+	events := Generate(Config{Seed: 2, N: 5000})
+	for _, e := range events {
+		if e.Duration < 90*time.Second {
+			t.Fatalf("duration %v below the 90s observability floor", e.Duration)
+		}
+		if e.Duration > 72*time.Hour {
+			t.Fatalf("duration %v above the truncation cap", e.Duration)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7, N: 1000})
+	b := Generate(Config{Seed: 7, N: 1000})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := Generate(Config{Seed: 8, N: 1000})
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical workloads")
+	}
+}
+
+func TestMixFractions(t *testing.T) {
+	events := Generate(Config{Seed: 3, N: 20000})
+	var link, fwd, rev, part int
+	for _, e := range events {
+		if e.Kind == ASLink {
+			link++
+		}
+		switch e.Direction {
+		case Forward:
+			fwd++
+		case Reverse:
+			rev++
+		}
+		if e.Partial {
+			part++
+		}
+	}
+	n := float64(len(events))
+	if f := float64(link) / n; f < 0.35 || f > 0.41 {
+		t.Fatalf("link fraction = %.3f, want ~0.38", f)
+	}
+	if f := float64(fwd) / n; f < 0.27 || f > 0.33 {
+		t.Fatalf("forward fraction = %.3f, want ~0.30", f)
+	}
+	if f := float64(rev) / n; f < 0.37 || f > 0.43 {
+		t.Fatalf("reverse fraction = %.3f, want ~0.40", f)
+	}
+	if f := float64(part) / n; f < 0.76 || f > 0.82 {
+		t.Fatalf("partial fraction = %.3f, want ~0.79", f)
+	}
+}
+
+func TestResidualsFig5Shape(t *testing.T) {
+	events := Generate(Config{Seed: 4, N: 50000})
+	pts := Residuals(events, []time.Duration{0, 5 * time.Minute, 10 * time.Minute})
+	if pts[0].Surviving != len(events) {
+		t.Fatalf("at 0 elapsed all outages survive: %d", pts[0].Surviving)
+	}
+	// The paper: of problems persisting 5 minutes, 51% last >=5 more; at
+	// 10 minutes, 68% persist >=5 more. Our calibrated tail must show the
+	// same "the longer it lasted, the longer it will last" growth.
+	p5, p10 := pts[1].FracPersist5MoreMins, pts[2].FracPersist5MoreMins
+	if p5 < 0.35 || p5 > 0.70 {
+		t.Fatalf("P(>=5 more min | lasted 5) = %.2f, want ~0.5", p5)
+	}
+	if p10 <= p5 {
+		t.Fatalf("residual persistence must grow: %.2f at 10min vs %.2f at 5min", p10, p5)
+	}
+	if pts[2].Median < pts[1].Median {
+		t.Fatalf("median residual should grow with elapsed: %v < %v", pts[2].Median, pts[1].Median)
+	}
+	// Mean residual dominated by the tail: far above the median.
+	if pts[1].Mean < pts[1].Median {
+		t.Fatal("heavy tail should pull mean above median")
+	}
+}
+
+func TestAvoidableUnavailability(t *testing.T) {
+	events := Generate(Config{Seed: 5, N: 50000})
+	// §4.2: with ~5min to detect/locate + ~2min to converge, poisoning
+	// could avoid up to ~80% of total unavailability.
+	frac := AvoidableUnavailability(events, 7*time.Minute)
+	if frac < 0.65 || frac > 0.92 {
+		t.Fatalf("avoidable fraction = %.3f, want ~0.8", frac)
+	}
+	// A slower repair saves less.
+	slower := AvoidableUnavailability(events, 30*time.Minute)
+	if slower >= frac {
+		t.Fatalf("slower repair should save less: %.3f vs %.3f", slower, frac)
+	}
+	if AvoidableUnavailability(nil, time.Minute) != 0 {
+		t.Fatal("empty events should yield 0")
+	}
+}
+
+func TestPoisonableRateMonotone(t *testing.T) {
+	events := Generate(Config{Seed: 6, N: 20000})
+	r5 := PoisonableRate(events, 5*time.Minute)
+	r15 := PoisonableRate(events, 15*time.Minute)
+	r60 := PoisonableRate(events, time.Hour)
+	if !(r5 > r15 && r15 > r60) {
+		t.Fatalf("rates must decrease with d: %v %v %v", r5, r15, r60)
+	}
+	if r60 <= 0 {
+		t.Fatal("hour-long outages must exist in the workload")
+	}
+	if PoisonableRate(nil, time.Minute) != 0 {
+		t.Fatal("empty events should yield 0")
+	}
+}
+
+func TestEventEnd(t *testing.T) {
+	e := Event{Start: time.Minute, Duration: 2 * time.Minute}
+	if e.End() != 3*time.Minute {
+		t.Fatalf("End = %v", e.End())
+	}
+}

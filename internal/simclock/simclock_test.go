@@ -1,0 +1,170 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueReady(t *testing.T) {
+	var s Scheduler
+	ran := false
+	s.After(time.Second, func() { ran = true })
+	s.Run()
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("Now = %v, want 1s", s.Now())
+	}
+}
+
+func TestOrderingByTime(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	s.At(2*time.Second, func() { got = append(got, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	id := s.After(time.Second, func() { ran = true })
+	if !s.Cancel(id) {
+		t.Fatal("Cancel reported not pending")
+	}
+	if s.Cancel(id) {
+		t.Fatal("second Cancel should report false")
+	}
+	s.Run()
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(1*time.Second, func() { got = append(got, 1) })
+	id := s.At(2*time.Second, func() { got = append(got, 2) })
+	s.At(3*time.Second, func() { got = append(got, 3) })
+	s.Cancel(id)
+	s.Run()
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("got %v, want [1 3]", got)
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	count := 0
+	s.At(1*time.Second, func() { count++ })
+	s.At(5*time.Second, func() { count++ })
+	s.RunUntil(3 * time.Second)
+	if count != 1 {
+		t.Fatalf("count = %d, want 1", count)
+	}
+	if s.Now() != 3*time.Second {
+		t.Fatalf("Now = %v, want 3s", s.Now())
+	}
+	s.Run()
+	if count != 2 || s.Now() != 5*time.Second {
+		t.Fatalf("after Run: count=%d Now=%v", count, s.Now())
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	s := New()
+	s.RunUntil(10 * time.Second)
+	fired := false
+	s.After(2*time.Second, func() { fired = true })
+	s.RunFor(time.Second)
+	if fired {
+		t.Fatal("event fired early")
+	}
+	s.RunFor(time.Second)
+	if !fired {
+		t.Fatal("event did not fire")
+	}
+}
+
+func TestEventSchedulesEvent(t *testing.T) {
+	s := New()
+	var times []time.Duration
+	var tick func()
+	tick = func() {
+		times = append(times, s.Now())
+		if len(times) < 3 {
+			s.After(time.Second, tick)
+		}
+	}
+	s.After(time.Second, tick)
+	s.Run()
+	if len(times) != 3 || times[2] != 3*time.Second {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	s.At(0, func() {})
+}
+
+func TestNegativeAfterClampsToNow(t *testing.T) {
+	s := New()
+	s.RunUntil(time.Second)
+	ran := false
+	s.After(-5*time.Second, func() { ran = true })
+	s.Run()
+	if !ran || s.Now() != time.Second {
+		t.Fatalf("ran=%v now=%v", ran, s.Now())
+	}
+}
+
+func TestLenAndStep(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Step() {
+		t.Fatal("Step = false with pending events")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	s.Run()
+	if s.Step() {
+		t.Fatal("Step = true with no events")
+	}
+}

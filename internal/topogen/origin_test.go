@@ -1,0 +1,68 @@
+package topogen
+
+import (
+	"testing"
+
+	"lifeguard/internal/topo"
+)
+
+func TestGenerateWithOrigin(t *testing.T) {
+	res, err := GenerateWithOrigin(Config{Seed: 3, NumTransit: 12, NumStub: 30}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Origin == 0 {
+		t.Fatal("origin not reported")
+	}
+	provs := res.Top.Providers(res.Origin)
+	if len(provs) != 5 {
+		t.Fatalf("origin providers = %d, want 5", len(provs))
+	}
+	seen := map[topo.ASN]bool{}
+	for _, p := range provs {
+		if seen[p] {
+			t.Fatalf("duplicate provider %d", p)
+		}
+		seen[p] = true
+		if res.Top.AS(p).Tier != 2 {
+			t.Fatalf("provider %d is tier %d, want transit", p, res.Top.AS(p).Tier)
+		}
+	}
+	if len(res.Top.AS(res.Origin).Routers) == 0 {
+		t.Fatal("origin has no routers")
+	}
+	if len(res.Top.Customers(res.Origin)) != 0 {
+		t.Fatal("origin must be a stub")
+	}
+}
+
+func TestGenerateWithOriginClampsProviders(t *testing.T) {
+	res, err := GenerateWithOrigin(Config{Seed: 4, NumTransit: 3, NumStub: 5}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Top.Providers(res.Origin)); got != 3 {
+		t.Fatalf("providers = %d, want clamped to 3", got)
+	}
+	res, err = GenerateWithOrigin(Config{Seed: 4, NumTransit: 3, NumStub: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Top.Providers(res.Origin)); got != 1 {
+		t.Fatalf("providers = %d, want floored to 1", got)
+	}
+}
+
+func TestGenerateWithOriginDeterministic(t *testing.T) {
+	a, _ := GenerateWithOrigin(Config{Seed: 9, NumTransit: 10, NumStub: 20}, 2)
+	b, _ := GenerateWithOrigin(Config{Seed: 9, NumTransit: 10, NumStub: 20}, 2)
+	if a.Origin != b.Origin {
+		t.Fatal("origin differs across identical runs")
+	}
+	pa, pb := a.Top.Providers(a.Origin), b.Top.Providers(b.Origin)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatal("providers differ across identical runs")
+		}
+	}
+}

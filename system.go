@@ -1,0 +1,198 @@
+package lifeguard
+
+import (
+	"net/netip"
+	"time"
+
+	"lifeguard/internal/atlas"
+	"lifeguard/internal/core/isolation"
+	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/monitor"
+	"lifeguard/internal/topo"
+)
+
+// Config parameterizes a System deployment.
+type Config struct {
+	// Origin is the AS whose prefixes LIFEGUARD manages.
+	Origin ASN
+	// VPs are the vantage-point routers used for monitoring and
+	// isolation (the PlanetLab role in the paper).
+	VPs []RouterID
+	// Targets are the destinations monitored for reachability.
+	Targets []netip.Addr
+
+	// Monitor, Atlas, Isolation and Remedy tune the subsystems; zero
+	// values select paper-calibrated defaults.
+	Monitor   monitor.Config
+	Atlas     atlas.Config
+	Isolation isolation.Config
+	Remedy    remedy.Config
+
+	// DisableAutoRepair turns the system into a pure observer: outages
+	// are detected and isolated but never poisoned.
+	DisableAutoRepair bool
+}
+
+// EventKind classifies System history entries.
+type EventKind int
+
+// System event kinds.
+const (
+	EventOutage EventKind = iota
+	EventIsolated
+	EventRepair
+	EventUnpoison
+	EventRecovered
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventOutage:
+		return "outage"
+	case EventIsolated:
+		return "isolated"
+	case EventRepair:
+		return "repair"
+	case EventUnpoison:
+		return "unpoison"
+	case EventRecovered:
+		return "recovered"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one entry of the system's history log.
+type Event struct {
+	At     time.Duration
+	Kind   EventKind
+	VP     RouterID
+	Target netip.Addr
+	// Report is set for EventIsolated.
+	Report *isolation.Report
+	// Action is set for EventRepair (it may be a refusal such as
+	// NoAlternate).
+	Action remedy.Action
+	// Avoided is set for EventRepair/EventUnpoison when a poison was
+	// involved.
+	Avoided ASN
+}
+
+// System is the full LIFEGUARD deployment over a Network: reachability
+// monitoring feeding failure isolation feeding the poisoning controller,
+// all driven by the virtual clock.
+type System struct {
+	Net      *Network
+	Atlas    *atlas.Atlas
+	Monitor  *monitor.Monitor
+	Isolator *isolation.Isolator
+	Remedy   *remedy.Controller
+
+	cfg Config
+
+	// History records everything the system did.
+	History []Event
+}
+
+// NewSystem wires a System over the network. Call Start to begin
+// monitoring, then advance the network clock.
+func NewSystem(n *Network, cfg Config) *System {
+	cfg.Remedy.Origin = cfg.Origin
+	s := &System{Net: n, cfg: cfg}
+
+	s.Atlas = atlas.New(n.Top, n.Prober, n.Clk, cfg.Atlas)
+	for _, vp := range cfg.VPs {
+		s.Atlas.AddVP(vp)
+	}
+	for _, t := range cfg.Targets {
+		s.Atlas.AddTarget(t)
+	}
+
+	s.Monitor = monitor.New(n.Prober, n.Clk, cfg.Monitor)
+	s.Monitor.Atlas = s.Atlas
+	for _, vp := range cfg.VPs {
+		for _, t := range cfg.Targets {
+			// Vantage points inside the origin AS probe from the
+			// production prefix, so the monitored reachability is
+			// exactly the traffic poisoning repairs.
+			if n.Top.Router(vp).AS == cfg.Origin {
+				s.Monitor.WatchFrom(vp, topo.ProductionAddr(cfg.Origin), t)
+			} else {
+				s.Monitor.Watch(vp, t)
+			}
+		}
+	}
+
+	s.Isolator = isolation.New(n.Top, n.Prober, s.Atlas, n.Clk, cfg.Isolation)
+	s.Remedy = remedy.New(n.Eng, n.Prober, n.Clk, cfg.Remedy)
+
+	s.Monitor.OnOutage = s.handleOutage
+	s.Monitor.OnRecovery = func(o *monitor.Outage) {
+		s.log(Event{At: n.Clk.Now(), Kind: EventRecovered, VP: o.VP, Target: o.Target})
+	}
+	s.Remedy.OnUnpoison = func(r *remedy.Repair) {
+		s.log(Event{At: n.Clk.Now(), Kind: EventUnpoison, Target: r.Victim, Avoided: r.Avoided})
+	}
+	return s
+}
+
+// Start announces the origin's production and sentinel prefixes and begins
+// the atlas refresh and monitoring loops.
+func (s *System) Start() {
+	s.Remedy.AnnounceBaseline()
+	s.Atlas.Start()
+	s.Monitor.Start()
+}
+
+// Stop halts monitoring and atlas refresh (an active poison stays in place
+// until its sentinel clears it or Remedy.Unpoison is called).
+func (s *System) Stop() {
+	s.Monitor.Stop()
+	s.Atlas.Stop()
+}
+
+func (s *System) log(e Event) { s.History = append(s.History, e) }
+
+// handleOutage runs the paper's §4.2 pipeline: isolate now, then decide to
+// poison once the measurements would have completed and the outage has aged
+// past the threshold.
+func (s *System) handleOutage(o *monitor.Outage) {
+	now := s.Net.Clk.Now()
+	s.log(Event{At: now, Kind: EventOutage, VP: o.VP, Target: o.Target})
+
+	rep := s.Isolator.Isolate(o.VP, o.Target)
+	s.log(Event{At: now, Kind: EventIsolated, VP: o.VP, Target: o.Target, Report: rep})
+	if rep.Healed || s.cfg.DisableAutoRepair {
+		return
+	}
+
+	// The poison decision happens after isolation would have finished
+	// and no earlier than the minimum outage age.
+	decideAt := now + rep.EstimatedDuration
+	minAge := s.Remedy.Config().MinOutageAge
+	if t := o.Start + minAge; t > decideAt {
+		decideAt = t
+	}
+	s.Net.Clk.At(decideAt, func() {
+		if !s.Monitor.Down(o.VP, o.Target) {
+			return // healed while we waited
+		}
+		action := s.Remedy.DecideAndRepair(rep, o.Start)
+		s.log(Event{
+			At: s.Net.Clk.Now(), Kind: EventRepair, VP: o.VP, Target: o.Target,
+			Report: rep, Action: action, Avoided: rep.Blamed,
+		})
+	})
+}
+
+// EventsOfKind filters the history.
+func (s *System) EventsOfKind(k EventKind) []Event {
+	var out []Event
+	for _, e := range s.History {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package lifeguard_test
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"lifeguard"
+)
+
+// TestVisibleFailureSelfHealsWithoutPoisoning exercises the §4.2 decision
+// policy end to end: a *visible* failure (BGP session cut) causes a brief
+// convergence outage that BGP repairs on its own — LIFEGUARD detects it but
+// must NOT poison, because by decision time the outage has healed.
+func TestVisibleFailureSelfHealsWithoutPoisoning(t *testing.T) {
+	n := fig2Network(t)
+	target := n.RouterAddr(n.Hub(asE))
+	sys := lifeguard.NewSystem(n, lifeguard.Config{
+		Origin:  asO,
+		VPs:     []lifeguard.RouterID{n.Hub(asO), n.Hub(asC)},
+		Targets: []netip.Addr{target},
+	})
+	sys.Start()
+	n.Clk.RunFor(2 * time.Minute)
+
+	// Cut the A–E session: E (and B's side of the world) must reconverge
+	// onto the D–C path by itself.
+	ids := n.FailAdjacency(asA, asE)
+	n.Clk.RunFor(30 * time.Minute)
+
+	// The network healed itself: traffic flows again...
+	if sys.Monitor.Down(n.Hub(asO), target) {
+		t.Fatal("pair still down after BGP reconvergence")
+	}
+	// ...and LIFEGUARD never poisoned (no repair events with a poison,
+	// and nothing active).
+	if sys.Remedy.Active() != nil {
+		t.Fatalf("poisoned a self-healing failure: %+v", sys.Remedy.Active())
+	}
+	for _, e := range sys.EventsOfKind(lifeguard.EventRepair) {
+		t.Fatalf("unexpected repair decision %v for a visible failure", e.Action)
+	}
+
+	// Restore the session; the world returns to the original routes.
+	n.HealAdjacency(asA, asE, ids)
+	if !n.Converge() {
+		t.Fatal("no convergence after restore")
+	}
+	r, ok := n.Eng.BestRoute(asE, lifeguard.ProductionPrefix(asO))
+	if !ok {
+		t.Fatal("E lost the route")
+	}
+	if r.Path[0] != asA {
+		t.Fatalf("E should return to the A path, got %v", r.Path)
+	}
+	sys.Stop()
+}
+
+// TestVisibleFailureOutageIsShort quantifies the contrast the paper draws:
+// convergence outages last ~minutes (self-healing), silent failures last
+// until someone intervenes.
+func TestVisibleFailureOutageIsShort(t *testing.T) {
+	n := fig2Network(t)
+	target := n.RouterAddr(n.Hub(asE))
+	sys := lifeguard.NewSystem(n, lifeguard.Config{
+		Origin:            asO,
+		VPs:               []lifeguard.RouterID{n.Hub(asO), n.Hub(asC)},
+		Targets:           []netip.Addr{target},
+		DisableAutoRepair: true, // observe both failure classes untreated
+	})
+	sys.Start()
+	n.Clk.RunFor(2 * time.Minute)
+
+	// Visible failure: cut and leave it cut; BGP routes around it.
+	n.FailAdjacency(asA, asE)
+	n.Clk.RunFor(30 * time.Minute)
+	var visibleDown time.Duration
+	for _, o := range sys.Monitor.History {
+		if o.End == 0 {
+			t.Fatal("visible failure did not self-heal")
+		}
+		visibleDown += o.Duration(n.Clk.Now())
+	}
+	if visibleDown > 10*time.Minute {
+		t.Fatalf("convergence outage lasted %v — should be minutes at most", visibleDown)
+	}
+
+	// Silent failure: inject and wait the same 30 minutes; without
+	// LIFEGUARD it never heals.
+	seen := len(sys.Monitor.History)
+	n.InjectFailure(lifeguard.BlackholeASTowards(asD, lifeguard.Block(asO)))
+	n.Clk.RunFor(30 * time.Minute)
+	silent := sys.Monitor.History[seen:]
+	if len(silent) == 0 {
+		t.Fatal("silent failure not detected")
+	}
+	for _, o := range silent {
+		if o.End != 0 {
+			t.Fatalf("silent failure 'healed' without intervention: %+v", o)
+		}
+	}
+}
