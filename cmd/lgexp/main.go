@@ -57,12 +57,16 @@ func main() {
 	}
 
 	for _, e := range todo {
+		// Experiments run entirely on the virtual clock; this stopwatch
+		// only tells the operator how long the real machine took.
+		//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
 		start := time.Now()
 		if *seeds <= 1 {
 			fmt.Print(e.Run(*seed).String())
 		} else {
 			printAveraged(e, *seed, *seeds)
 		}
+		//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 }

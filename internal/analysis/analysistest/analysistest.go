@@ -1,0 +1,219 @@
+// Package analysistest runs a lglint analyzer over packages stored under a
+// testdata directory and checks its diagnostics against expectations written
+// in the source, mirroring golang.org/x/tools/go/analysis/analysistest:
+//
+//	x := time.Now() // want `forbidden call to time\.Now`
+//
+// An expectation comment starts with the word "want" followed by one or more
+// quoted regular expressions (double- or back-quoted); each must match
+// exactly one diagnostic reported on that line, and every diagnostic must be
+// matched. /* want `...` */ block comments work too, which is how a line
+// that already carries a //-directive states its expectation.
+//
+// Testdata packages live at <dir>/testdata/src/<name>/*.go and may import
+// only the standard library: dependency type information comes from
+// `go list -export`, i.e. from the toolchain's own export data, so tests run
+// offline and agree exactly with what the vet driver sees.
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"lifeguard/internal/analysis"
+)
+
+// Run applies the analyzer to each named package under dir/testdata/src and
+// reports expectation mismatches via t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, filepath.Join(dir, "testdata", "src", pkg), a)
+	}
+}
+
+func runPkg(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no Go files in %s: %v", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil {
+				imports[p] = true
+			}
+		}
+	}
+
+	lookup, err := exportLookup(imports)
+	if err != nil {
+		t.Fatalf("resolving export data: %v", err)
+	}
+	pkg, info, err := analysis.Typecheck(fset, files, filepath.Base(dir), "", nil, lookup)
+	if err != nil {
+		t.Fatalf("typecheck %s: %v", dir, err)
+	}
+
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	checkExpectations(t, fset, files, diags)
+}
+
+// exportLookup shells out to `go list -export` once to map every stdlib
+// import (and its transitive dependencies) to the toolchain's export-data
+// file in the build cache.
+func exportLookup(imports map[string]bool) (func(string) (io.ReadCloser, error), error) {
+	var paths []string
+	for p := range imports {
+		if p != "unsafe" {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	exports := map[string]string{}
+	if len(paths) > 0 {
+		cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)...)
+		var out, errb bytes.Buffer
+		cmd.Stdout, cmd.Stderr = &out, &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export: %v\n%s", err, errb.String())
+		}
+		dec := json.NewDecoder(&out)
+		for {
+			var p struct{ ImportPath, Export string }
+			if err := dec.Decode(&p); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q (testdata packages may import only the standard library)", path)
+		}
+		return os.Open(file)
+	}, nil
+}
+
+type expectation struct {
+	rx      *regexp.Regexp
+	matched bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*expectation{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				switch {
+				case strings.HasPrefix(text, "//"):
+					text = text[len("//"):]
+				case strings.HasPrefix(text, "/*"):
+					text = strings.TrimSuffix(text[len("/*"):], "*/")
+				}
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				k := key{posn.Filename, posn.Line}
+				rest := strings.TrimSpace(text[len("want"):])
+				for rest != "" {
+					rx, tail, err := cutQuoted(rest)
+					if err != nil {
+						t.Errorf("%s: bad want comment: %v", posn, err)
+						break
+					}
+					re, err := regexp.Compile(rx)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", posn, rx, err)
+						break
+					}
+					wants[k] = append(wants[k], &expectation{rx: re})
+					rest = strings.TrimSpace(tail)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		k := key{posn.Filename, posn.Line}
+		found := false
+		for _, w := range wants[k] {
+			if !w.matched && w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s (%s)", posn, d.Message, d.Analyzer)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.rx)
+			}
+		}
+	}
+}
+
+// cutQuoted splits a leading double- or back-quoted string off s.
+func cutQuoted(s string) (unquoted, rest string, err error) {
+	if s == "" {
+		return "", "", fmt.Errorf("empty expectation")
+	}
+	q := s[0]
+	if q != '"' && q != '`' {
+		return "", "", fmt.Errorf("expectation must be a quoted regexp, got %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == q && (q == '`' || s[i-1] != '\\') {
+			unq, err := strconv.Unquote(s[:i+1])
+			if err != nil {
+				return "", "", err
+			}
+			return unq, s[i+1:], nil
+		}
+	}
+	return "", "", fmt.Errorf("unterminated quoted regexp in %q", s)
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// DirectiveCheckerName tags diagnostics about suppression directives
+// themselves (malformed syntax, unknown analyzer, missing reason).
+const DirectiveCheckerName = "lglint"
+
+// directivePrefix introduces a suppression comment. The syntax follows the
+// staticcheck convention:
+//
+//	//lint:ignore lglint/<analyzer>[,lglint/<analyzer>...] <reason>
+//
+// The directive must be a // comment. It suppresses matching diagnostics on
+// its own line (trailing-comment style) and on the line immediately below
+// (full-line-comment style). The reason is mandatory: a directive without
+// one is reported and suppresses nothing.
+const directivePrefix = "lint:ignore"
+
+// ourPrefix marks analyzer names that belong to this suite. Directives that
+// name only foreign checkers (e.g. staticcheck's SA1000) are left alone.
+const ourPrefix = "lglint/"
+
+type directive struct {
+	file  string
+	line  int
+	names map[string]bool // short analyzer names, e.g. "simclockcheck"
+}
+
+// parseDirectives scans the files' comments for //lint:ignore directives.
+// It returns the valid directives addressed to this suite, plus diagnostics
+// for directives that are malformed: missing an analyzer list, missing a
+// reason, or naming an unknown lglint analyzer. known holds the short names
+// of the analyzers in the running suite.
+func parseDirectives(fset *token.FileSet, files []*ast.File, known map[string]bool) ([]directive, []Diagnostic) {
+	var dirs []directive
+	var malformed []Diagnostic
+	report := func(pos token.Pos, format string, args ...any) {
+		p := &Pass{Analyzer: &Analyzer{Name: DirectiveCheckerName}, diags: &malformed}
+		p.Reportf(pos, format, args...)
+	}
+
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, "//") {
+					continue // block comments cannot carry directives
+				}
+				body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				if !strings.HasPrefix(body, directivePrefix) {
+					continue
+				}
+				args := strings.TrimSpace(body[len(directivePrefix):])
+				nameList, reason, _ := strings.Cut(args, " ")
+				reason = strings.TrimSpace(reason)
+				if nameList == "" {
+					report(c.Pos(), "malformed //lint:ignore directive: usage: //lint:ignore %s<analyzer> <reason>", ourPrefix)
+					continue
+				}
+
+				names := make(map[string]bool)
+				ours := false
+				bad := false
+				for _, n := range strings.Split(nameList, ",") {
+					if !strings.HasPrefix(n, ourPrefix) {
+						continue // foreign checker; not our business
+					}
+					ours = true
+					short := strings.TrimPrefix(n, ourPrefix)
+					if !known[short] {
+						report(c.Pos(), "//lint:ignore names unknown analyzer %q", n)
+						bad = true
+						continue
+					}
+					names[short] = true
+				}
+				if !ours {
+					continue
+				}
+				if reason == "" {
+					report(c.Pos(), "//lint:ignore directive is missing a reason: every suppression must say why the invariant does not apply")
+					continue
+				}
+				if bad {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				dirs = append(dirs, directive{file: pos.Filename, line: pos.Line, names: names})
+			}
+		}
+	}
+	return dirs, malformed
+}
+
+// suppressed reports whether a diagnostic from the named analyzer at posn is
+// covered by one of the directives.
+func suppressed(dirs []directive, posn token.Position, name string) bool {
+	for _, d := range dirs {
+		if d.file != posn.Filename || !d.names[name] {
+			continue
+		}
+		if posn.Line == d.line || posn.Line == d.line+1 {
+			return true
+		}
+	}
+	return false
+}

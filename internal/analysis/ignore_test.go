@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseOne(t *testing.T, src string) ([]directive, []Diagnostic, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"simclockcheck": true, "maporder": true}
+	dirs, malformed := parseDirectives(fset, []*ast.File{f}, known)
+	return dirs, malformed, fset
+}
+
+func TestParseDirectives(t *testing.T) {
+	src := `package p
+
+//lint:ignore lglint/simclockcheck the wire FSM needs real deadlines
+var a int
+
+//lint:ignore lglint/simclockcheck,lglint/maporder both apply here
+var b int
+
+//lint:ignore SA1000 foreign directive, not ours
+var c int
+
+//lint:ignore lglint/simclockcheck
+var d int
+
+//lint:ignore
+var e int
+
+//lint:ignore lglint/doesnotexist some reason
+var f int
+`
+	dirs, malformed, _ := parseOne(t, src)
+
+	if len(dirs) != 2 {
+		t.Fatalf("got %d valid directives, want 2: %+v", len(dirs), dirs)
+	}
+	if !dirs[0].names["simclockcheck"] || dirs[0].names["maporder"] {
+		t.Errorf("first directive names = %v", dirs[0].names)
+	}
+	if !dirs[1].names["simclockcheck"] || !dirs[1].names["maporder"] {
+		t.Errorf("comma-separated directive names = %v", dirs[1].names)
+	}
+
+	var msgs []string
+	for _, d := range malformed {
+		msgs = append(msgs, d.Message)
+		if d.Analyzer != DirectiveCheckerName {
+			t.Errorf("malformed diagnostic attributed to %q, want %q", d.Analyzer, DirectiveCheckerName)
+		}
+	}
+	if len(msgs) != 3 {
+		t.Fatalf("got %d malformed diagnostics, want 3: %v", len(msgs), msgs)
+	}
+	for want, frag := range map[int]string{
+		0: "missing a reason",
+		1: "malformed //lint:ignore directive",
+		2: `unknown analyzer "lglint/doesnotexist"`,
+	} {
+		if !strings.Contains(msgs[want], frag) {
+			t.Errorf("malformed[%d] = %q, want substring %q", want, msgs[want], frag)
+		}
+	}
+}
+
+func TestSuppressed(t *testing.T) {
+	dirs := []directive{{file: "x.go", line: 10, names: map[string]bool{"maporder": true}}}
+	pos := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+
+	if !suppressed(dirs, pos(10), "maporder") {
+		t.Error("same-line diagnostic should be suppressed")
+	}
+	if !suppressed(dirs, pos(11), "maporder") {
+		t.Error("next-line diagnostic should be suppressed")
+	}
+	if suppressed(dirs, pos(12), "maporder") {
+		t.Error("two lines below must not be suppressed")
+	}
+	if suppressed(dirs, pos(9), "maporder") {
+		t.Error("line above must not be suppressed")
+	}
+	if suppressed(dirs, pos(10), "simclockcheck") {
+		t.Error("other analyzers must not be suppressed")
+	}
+	if suppressed(dirs, token.Position{Filename: "y.go", Line: 10}, "maporder") {
+		t.Error("other files must not be suppressed")
+	}
+}

@@ -1,0 +1,98 @@
+// Package lockcopyplus extends vet's copylocks to API shape: any function
+// signature that moves a lock-bearing struct by value is reported, even when
+// no call site copies it yet.
+//
+// The BGP session and server types guard connection state with sync.Mutex;
+// copying one forks the lock while both copies share the net.Conn, a race
+// that -race only catches if a test happens to hit the interleaving. vet's
+// copylocks pass flags existing copies; this analyzer forbids declaring the
+// copying signature in the first place — value receivers, value parameters,
+// and value results of any type that transitively contains a sync.Mutex or
+// sync.RWMutex (through fields, embedding, or arrays).
+package lockcopyplus
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lifeguard/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcopyplus",
+	Doc: "flag value receivers, parameters, and results of structs containing sync.Mutex/RWMutex\n" +
+		"\nCopying a lock-bearing struct forks its mutex while the guarded state" +
+		" stays shared; such types must move by pointer.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					checkFields(pass, n.Recv, "receiver", "use a pointer receiver")
+				}
+				checkSignature(pass, n.Type)
+			case *ast.FuncLit:
+				checkSignature(pass, n.Type)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSignature(pass *analysis.Pass, ft *ast.FuncType) {
+	checkFields(pass, ft.Params, "parameter", "pass a pointer")
+	checkFields(pass, ft.Results, "result", "return a pointer")
+}
+
+func checkFields(pass *analysis.Pass, fl *ast.FieldList, kind, fix string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.TypesInfo.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := lockPath(t, nil); lock != "" {
+			pass.Reportf(field.Type.Pos(), "%s %s contains %s and is passed by value, which copies the lock: %s", kind, types.TypeString(t, types.RelativeTo(pass.Pkg)), lock, fix)
+		}
+	}
+}
+
+// lockPath reports how t transitively contains a sync lock ("" if it does
+// not), following struct fields, embedded fields, and array elements — the
+// shapes a value copy duplicates. Pointers, slices, maps, and channels stop
+// the walk: copying the header shares, not forks, the lock.
+func lockPath(t types.Type, seen []types.Type) string {
+	t = types.Unalias(t)
+	for _, s := range seen {
+		if types.Identical(s, t) {
+			return ""
+		}
+	}
+	seen = append(seen, t)
+
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && (obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return "sync." + obj.Name()
+		}
+		return lockPath(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if lock := lockPath(f.Type(), seen); lock != "" {
+				return lock + " (field " + f.Name() + ")"
+			}
+		}
+	case *types.Array:
+		return lockPath(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,11 @@
+package lockcopyplus
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestLockcopyplus(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "clean", "ignore")
+}

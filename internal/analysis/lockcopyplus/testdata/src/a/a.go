@@ -1,0 +1,53 @@
+// Package a exercises the by-value lock movement detectors.
+package a
+
+import "sync"
+
+type Locked struct {
+	mu sync.Mutex
+	n  int
+}
+
+type Embeds struct{ Locked }
+
+type DeepArray struct{ arr [2]Locked }
+
+type Clean struct{ n int }
+
+func (l Locked) BadValueMethod() int { // want `receiver Locked contains sync\.Mutex \(field mu\) and is passed by value`
+	return l.n
+}
+
+func (l *Locked) GoodPtrMethod() int { return l.n }
+
+func BadParam(l Locked) {} // want `parameter Locked contains sync\.Mutex \(field mu\) and is passed by value`
+
+func BadReturn() Locked { // want `result Locked contains sync\.Mutex \(field mu\) and is passed by value`
+	return Locked{}
+}
+
+func BadEmbedded(e Embeds) {} // want `parameter Embeds contains sync\.Mutex`
+
+func BadArray(d DeepArray) {} // want `parameter DeepArray contains sync\.Mutex`
+
+func BadBareMutex(mu sync.Mutex) {} // want `parameter sync\.Mutex contains sync\.Mutex and is passed by value`
+
+func BadRWMutex(mu sync.RWMutex) {} // want `parameter sync\.RWMutex contains sync\.RWMutex and is passed by value`
+
+var _ = func(l Locked) {} // want `parameter Locked contains sync\.Mutex \(field mu\) and is passed by value`
+
+func GoodPtr(l *Locked)           {}
+func GoodSlice(ls []Locked)       {}
+func GoodMap(m map[string]*Locked) {}
+func GoodChan(ch chan *Locked)    {}
+func GoodClean(c Clean)           {}
+
+// A self-referential type must not send the walker into a loop.
+type Node struct {
+	next *Node
+	mu   sync.Mutex
+}
+
+func GoodNodePtr(n *Node) {}
+
+func BadNode(n Node) {} // want `parameter Node contains sync\.Mutex \(field mu\) and is passed by value`

@@ -1,0 +1,39 @@
+// Package clean moves lock-bearing state exclusively by pointer, which is
+// the only shape the analyzer accepts.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu      sync.RWMutex
+	entries map[string]int
+}
+
+func newRegistry() *registry {
+	return &registry{entries: make(map[string]int)}
+}
+
+func (r *registry) get(k string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.entries[k]
+	return v, ok
+}
+
+func (r *registry) put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries[k] = v
+}
+
+func transfer(src, dst *registry, k string) {
+	if v, ok := src.get(k); ok {
+		dst.put(k, v)
+	}
+}
+
+// Plain structs without locks move by value freely.
+type point struct{ x, y int }
+
+func (p point) norm() int     { return p.x*p.x + p.y*p.y }
+func scale(p point, k int) point { return point{p.x * k, p.y * k} }

@@ -1,0 +1,17 @@
+// Package ignore proves suppression and malformed-directive reporting for
+// lockcopyplus.
+package ignore
+
+import "sync"
+
+type guarded struct {
+	mu sync.Mutex
+}
+
+//lint:ignore lglint/lockcopyplus testdata: next-line suppression must silence the finding
+func suppressed(g guarded) {}
+
+func alsoSuppressed(g guarded) {} //lint:ignore lglint/lockcopyplus testdata: same-line suppression must silence the finding
+
+/* want `missing a reason` */ //lint:ignore lglint/lockcopyplus
+func reported(g guarded) {} // want `parameter guarded contains sync\.Mutex \(field mu\) and is passed by value`

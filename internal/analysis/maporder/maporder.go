@@ -1,0 +1,206 @@
+// Package maporder flags the canonical Go nondeterminism leak: iterating a
+// map while building order-sensitive output.
+//
+// Map iteration order is deliberately randomized by the runtime, so a
+// `range` over a map that appends to a slice, sends on a channel, or prints
+// directly produces a different ordering every run. In this repo that class
+// of bug corrupts the BGP decision process, topology generation, and every
+// golden experiment table — and it passes all tests most of the time, which
+// is exactly why it must be rejected statically.
+//
+// The analyzer blesses the canonical fix: appending keys/values to a slice
+// is fine if a later statement in the same block sorts that slice before it
+// escapes — a call into sort or slices, or to any function or method whose
+// name contains "sort" (project-local helpers like sortPrefixes count).
+// Accumulating into another map or summing a counter (commutative work) is
+// always fine.
+package maporder
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lifeguard/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "maporder",
+	Doc: "flag range-over-map loops that append, send, or print without a subsequent sort\n" +
+		"\nMap iteration order is randomized; order-sensitive work inside such a" +
+		" loop makes runs irreproducible unless the result is sorted afterwards.",
+	Run: run,
+}
+
+// printFuncs are direct-output calls whose ordering is user-visible.
+var printFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true},
+	"log": {"Print": true, "Printf": true, "Println": true},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				checkStmts(pass, n.List)
+			case *ast.CaseClause:
+				checkStmts(pass, n.Body)
+			case *ast.CommClause:
+				checkStmts(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStmts scans one statement list for range-over-map loops, using the
+// statements after each loop to decide whether appended slices get sorted.
+func checkStmts(pass *analysis.Pass, stmts []ast.Stmt) {
+	for i, stmt := range stmts {
+		for {
+			if ls, ok := stmt.(*ast.LabeledStmt); ok {
+				stmt = ls.Stmt
+				continue
+			}
+			break
+		}
+		rs, ok := stmt.(*ast.RangeStmt)
+		if !ok || !isMap(pass, rs.X) {
+			continue
+		}
+		checkRange(pass, rs, stmts[i+1:])
+	}
+}
+
+func isMap(pass *analysis.Pass, x ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(x)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+func checkRange(pass *analysis.Pass, rs *ast.RangeStmt, after []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "send on a channel inside range over map: iteration order is randomized, so receivers observe a different order every run")
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass, n); fn != nil {
+				if names := printFuncs[fn.Pkg().Path()]; names[fn.Name()] {
+					pass.Reportf(n.Pos(), "%s.%s inside range over map prints in randomized order: collect keys, sort them, then iterate", fn.Pkg().Name(), fn.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			checkAppend(pass, n, rs, after)
+		}
+		return true
+	})
+}
+
+// checkAppend reports `v = append(v, ...)` inside the loop when v outlives
+// the loop and no later statement in the enclosing block sorts it.
+func checkAppend(pass *analysis.Pass, as *ast.AssignStmt, rs *ast.RangeStmt, after []ast.Stmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+			continue
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || (obj.Pos() >= rs.Pos() && obj.Pos() < rs.End()) {
+			continue // loop-local accumulator dies with the loop
+		}
+		if sortedAfter(pass, obj, after) {
+			continue
+		}
+		pass.Reportf(as.Pos(), "append to %q inside range over map without a following sort: iteration order is randomized — sort %q before it is used (e.g. sort.Strings/slices.Sort)", id.Name, id.Name)
+	}
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return nil
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return nil
+	}
+	return fn
+}
+
+// sortedAfter reports whether any statement after the loop sorts obj: a call
+// into the sort or slices package, or to any function or method whose name
+// contains "sort" (a project-local helper like sortPrefixes), with obj
+// appearing anywhere in the call.
+func sortedAfter(pass *analysis.Pass, obj types.Object, after []ast.Stmt) bool {
+	found := false
+	for _, stmt := range after {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			if !isSortCall(pass, call) {
+				return true
+			}
+			ast.Inspect(call, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return false
+	}
+	if strings.Contains(strings.ToLower(id.Name), "sort") {
+		return true
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	return p == "sort" || p == "slices"
+}

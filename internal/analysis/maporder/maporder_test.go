@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestMaporder(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "clean", "ignore")
+}

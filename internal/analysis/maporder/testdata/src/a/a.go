@@ -1,0 +1,80 @@
+// Package a exercises the order-sensitive map-iteration detectors.
+package a
+
+import (
+	"fmt"
+	"log"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a following sort`
+	}
+	return keys
+}
+
+func send(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `send on a channel inside range over map`
+	}
+}
+
+func printed(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map prints in randomized order`
+	}
+	for k := range m {
+		log.Println(k) // want `log\.Println inside range over map prints in randomized order`
+	}
+}
+
+type routes map[uint32][]string
+
+func namedMapType(r routes, out *[]string) {
+	for asn := range r {
+		*out = append(*out, fmt.Sprint(asn)) // non-ident target: not tracked
+	}
+	var paths []string
+	for _, hops := range r {
+		paths = append(paths, hops...) // want `append to "paths" inside range over map without a following sort`
+	}
+	_ = paths
+}
+
+func insideClosure(m map[string]int) func() []string {
+	return func() []string {
+		var ks []string
+		for k := range m {
+			ks = append(ks, k) // want `append to "ks" inside range over map without a following sort`
+		}
+		return ks
+	}
+}
+
+func helperIsNotASort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map without a following sort`
+	}
+	reverse(keys)
+	return keys
+}
+
+func reverse(ks []string) {
+	for i, j := 0, len(ks)-1; i < j; i, j = i+1, j-1 {
+		ks[i], ks[j] = ks[j], ks[i]
+	}
+}
+
+func labeled(m map[string]int) []string {
+	var keys []string
+outer:
+	for k := range m {
+		if k == "" {
+			break outer
+		}
+		keys = append(keys, k) // want `append to "keys" inside range over map without a following sort`
+	}
+	return keys
+}

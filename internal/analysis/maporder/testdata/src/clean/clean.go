@@ -1,0 +1,104 @@
+// Package clean shows the blessed patterns: commutative aggregation,
+// map-to-map accumulation, loop-local slices, ranging over non-maps, and
+// the canonical collect-then-sort idiom in all its spellings.
+package clean
+
+import (
+	"slices"
+	"sort"
+)
+
+func collectThenSortStrings(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectThenSortSlice(m map[string]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals
+}
+
+func collectThenSlicesSort(m map[uint32]string) []uint32 {
+	var asns []uint32
+	for asn := range m {
+		asns = append(asns, asn)
+	}
+	slices.Sort(asns)
+	return asns
+}
+
+func collectThenSortWrapped(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Sort(sort.StringSlice(keys))
+	return keys
+}
+
+func viaLocalHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+type keyList []string
+
+func (k keyList) Sort() { sort.Strings(k) }
+
+func viaSortMethod(m map[string]int) keyList {
+	var keys keyList
+	for k := range m {
+		keys = append(keys, k)
+	}
+	keys.Sort()
+	return keys
+}
+
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func mapToMap(m map[string]int) map[int]string {
+	inv := make(map[int]string, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+func loopLocal(m map[string][]string) int {
+	n := 0
+	for _, hops := range m {
+		trimmed := []string{}
+		trimmed = append(trimmed, hops...)
+		n += len(trimmed)
+	}
+	return n
+}
+
+func rangeOverSlice(xs []string, ch chan<- string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+		ch <- x
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+// Package ignore proves suppression and malformed-directive reporting for
+// maporder.
+package ignore
+
+func suppressed(m map[string]int, ch chan<- string) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) //lint:ignore lglint/maporder testdata: consumer is order-insensitive
+		//lint:ignore lglint/maporder testdata: next-line suppression must silence the finding
+		ch <- k
+	}
+	return keys
+}
+
+func reported(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		/* want `missing a reason` */ //lint:ignore lglint/maporder
+		keys = append(keys, k) // want `append to "keys" inside range over map without a following sort`
+	}
+	return keys
+}

@@ -1,0 +1,70 @@
+// Package seededrand forbids process-global randomness.
+//
+// Every stochastic choice in the simulator — topology synthesis, outage
+// workloads, probe loss — must come from a *rand.Rand constructed from the
+// experiment seed and threaded explicitly, so that a seed fully determines a
+// run. The math/rand (and math/rand/v2) top-level functions draw from a
+// package-global source that is shared across goroutines and seeded
+// differently per process; crypto/rand is nondeterministic by design. Both
+// turn "same seed, same result" into a lie without failing any test until
+// determinism_test.go flakes.
+package seededrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"lifeguard/internal/analysis"
+)
+
+// allowed lists the math/rand functions that construct an explicit,
+// seedable generator rather than touching the global source.
+var allowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+var randPkgs = map[string]string{
+	"math/rand":    "global math/rand source",
+	"math/rand/v2": "global math/rand/v2 source",
+	"crypto/rand":  "crypto/rand (nondeterministic by design)",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "seededrand",
+	Doc: "forbid the global math/rand source and crypto/rand; inject a seeded *rand.Rand instead\n" +
+		"\nA run must be a pure function of its seed: rand.Intn et al. draw from" +
+		" a shared process-global source, breaking replayability.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			what, bad := randPkgs[fn.Pkg().Path()]
+			if !bad {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods on an injected *rand.Rand are the fix
+			}
+			if fn.Pkg().Path() != "crypto/rand" && allowed[fn.Name()] {
+				return true
+			}
+			pass.Reportf(id.Pos(), "use of %s via %s.%s: draw from an injected, seeded *rand.Rand so runs replay from their seed", what, fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}

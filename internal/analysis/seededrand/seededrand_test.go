@@ -1,0 +1,11 @@
+package seededrand
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestSeededrand(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "clean", "ignore")
+}

@@ -1,0 +1,21 @@
+// Package a exercises the global-randomness detectors.
+package a
+
+import (
+	crand "crypto/rand"
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+func flagged() {
+	_ = rand.Intn(10)        // want `use of global math/rand source via rand\.Intn`
+	_ = rand.Int63()         // want `use of global math/rand source via rand\.Int63`
+	_ = rand.Float64()       // want `use of global math/rand source via rand\.Float64`
+	rand.Seed(42)            // want `use of global math/rand source via rand\.Seed`
+	rand.Shuffle(3, func(i, j int) {}) // want `use of global math/rand source via rand\.Shuffle`
+	_ = randv2.IntN(10)      // want `use of global math/rand/v2 source via rand\.IntN`
+	_ = randv2.Uint64()      // want `use of global math/rand/v2 source via rand\.Uint64`
+	_, _ = crand.Read(nil)   // want `use of crypto/rand \(nondeterministic by design\) via rand\.Read`
+	var pick = rand.Perm     // want `use of global math/rand source via rand\.Perm`
+	_ = pick
+}

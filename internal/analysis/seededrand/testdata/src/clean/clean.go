@@ -1,0 +1,30 @@
+// Package clean shows the sanctioned pattern: construct a generator from an
+// explicit seed and thread it through; methods on it are always fine.
+package clean
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+type workload struct {
+	rng *rand.Rand
+}
+
+func newWorkload(seed int64) *workload {
+	return &workload{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (w *workload) draw() (int, float64) {
+	return w.rng.Intn(100), w.rng.Float64()
+}
+
+func zipf(seed int64) *rand.Zipf {
+	r := rand.New(rand.NewSource(seed))
+	return rand.NewZipf(r, 1.2, 1, 1<<20)
+}
+
+func v2(seed uint64) int {
+	r := randv2.New(randv2.NewPCG(seed, seed))
+	return r.IntN(100)
+}

@@ -1,0 +1,13 @@
+// Package ignore proves suppression and malformed-directive reporting for
+// seededrand.
+package ignore
+
+import "math/rand"
+
+var _ = rand.Int63 //lint:ignore lglint/seededrand testdata: same-line suppression must silence the finding
+
+//lint:ignore lglint/seededrand testdata: next-line suppression must silence the finding
+var _ = rand.Intn
+
+/* want `missing a reason` */ //lint:ignore lglint/seededrand
+var _ = rand.Float64 // want `use of global math/rand source via rand\.Float64`

@@ -1,0 +1,35 @@
+package simclockcheck
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestSimclockcheck(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "clean", "ignore")
+}
+
+func TestAllowlist(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"lifeguard/internal/bgp/session", true},
+		// Test variants as the vet driver names them.
+		{"lifeguard/internal/bgp/session [lifeguard/internal/bgp/session.test]", true},
+		{"lifeguard/internal/bgp/session_test [lifeguard/internal/bgp/session.test]", true},
+		{"lifeguard/internal/nettest", true},
+		{"lifeguard/cmd/lgpeer", true},
+		{"lifeguard/internal/bgp", false},
+		{"lifeguard/internal/bgp/sessionx", false},
+		{"lifeguard/internal/monitor", false},
+		{"lifeguard/cmd/lgexp", false},
+		{"lifeguard", false},
+	}
+	for _, c := range cases {
+		if got := allowlisted(c.path); got != c.want {
+			t.Errorf("allowlisted(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

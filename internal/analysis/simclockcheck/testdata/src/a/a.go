@@ -1,0 +1,23 @@
+// Package a exercises every forbidden wall-clock entry point.
+package a
+
+import (
+	"time"
+
+	tt "time"
+)
+
+func flagged() {
+	_ = time.Now()                      // want `forbidden wall-clock call time\.Now`
+	time.Sleep(time.Millisecond)        // want `forbidden wall-clock call time\.Sleep`
+	<-time.After(time.Second)           // want `forbidden wall-clock call time\.After`
+	_ = time.Since(time.Time{})         // want `forbidden wall-clock call time\.Since`
+	_ = time.Until(time.Time{})         // want `forbidden wall-clock call time\.Until`
+	_ = time.NewTimer(time.Second)      // want `forbidden wall-clock call time\.NewTimer`
+	_ = time.NewTicker(time.Second)     // want `forbidden wall-clock call time\.NewTicker`
+	_ = time.AfterFunc(0, func() {})    // want `forbidden wall-clock call time\.AfterFunc`
+	<-time.Tick(time.Second)            // want `forbidden wall-clock call time\.Tick`
+	_ = tt.Now()                        // want `forbidden wall-clock call time\.Now`
+	var sleep = time.Sleep              // want `forbidden wall-clock call time\.Sleep`
+	_ = sleep
+}

@@ -1,0 +1,28 @@
+// Package clean uses the time package only for arithmetic and parsing,
+// which is always legal: durations and instants carry no wall-clock read.
+package clean
+
+import "time"
+
+func durations(d time.Duration) time.Duration {
+	d += 30 * time.Second
+	if d > time.Minute {
+		d = d.Round(time.Millisecond)
+	}
+	return d
+}
+
+func parsing() (time.Time, error) {
+	if d, err := time.ParseDuration("30s"); err == nil {
+		_ = d
+	}
+	return time.Parse(time.RFC3339, "2012-08-13T00:00:00Z")
+}
+
+func methods(t *time.Timer, tk *time.Ticker, at time.Time) {
+	// Methods on timer values are fine; only constructing them from the
+	// wall clock is forbidden.
+	t.Stop()
+	tk.Reset(time.Second)
+	_ = at.Add(time.Hour).Sub(at)
+}

@@ -1,0 +1,28 @@
+// Package ignore exercises the //lint:ignore suppression contract: a
+// well-formed directive with a reason silences the diagnostic on its own
+// line or the next one; anything malformed is itself reported and
+// suppresses nothing.
+package ignore
+
+import "time"
+
+var _ = time.Now //lint:ignore lglint/simclockcheck testdata: same-line suppression must silence the finding
+
+//lint:ignore lglint/simclockcheck testdata: a full-line directive covers the next line
+var _ = time.Sleep
+
+// A directive without a reason is rejected and suppresses nothing.
+/* want `missing a reason` */ //lint:ignore lglint/simclockcheck
+var _ = time.After // want `forbidden wall-clock call time\.After`
+
+// A directive naming an unknown analyzer is rejected and suppresses nothing.
+/* want `unknown analyzer "lglint/simclok"` */ //lint:ignore lglint/simclok typo in the analyzer name
+var _ = time.Tick // want `forbidden wall-clock call time\.Tick`
+
+// A bare directive is malformed.
+/* want `malformed //lint:ignore directive` */ //lint:ignore
+var _ = time.Until // want `forbidden wall-clock call time\.Until`
+
+// Directives for foreign checkers are none of our business.
+//lint:ignore SA1000 staticcheck-style directive aimed at another tool
+var _ = time.NewTimer // want `forbidden wall-clock call time\.NewTimer`

@@ -54,6 +54,9 @@ func (s *Speaker) setNeighborDown(n topo.ASN, down bool) {
 				changed = append(changed, prefix)
 			}
 		}
+		// Re-decide in prefix order, not adjIn iteration order, so the
+		// resulting update schedule is identical across runs.
+		sortPrefixes(changed)
 		for _, prefix := range changed {
 			if s.decide(prefix) {
 				s.markAllPending(prefix)

@@ -88,6 +88,7 @@ func TestBridgeMirrorsRepairOntoWire(t *testing.T) {
 		select {
 		case u := <-got:
 			return u
+		//lint:ignore lglint/simclockcheck watchdog against a deadlocked wire session; the real session FSM cannot run on the virtual clock
 		case <-time.After(3 * time.Second):
 			t.Fatal("no update on the wire")
 			return wire.Update{}

@@ -87,13 +87,20 @@ func (s *Speaker) KnownPrefixes() []netip.Prefix {
 	for p := range s.best {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Addr() != out[j].Addr() {
-			return out[i].Addr().Less(out[j].Addr())
-		}
-		return out[i].Bits() < out[j].Bits()
-	})
+	sortPrefixes(out)
 	return out
+}
+
+// sortPrefixes orders prefixes by address then length. Every slice collected
+// from a map of prefixes must pass through here before it drives decisions
+// or output, so that map iteration order never leaks into a run.
+func sortPrefixes(ps []netip.Prefix) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].Addr() != ps[j].Addr() {
+			return ps[i].Addr().Less(ps[j].Addr())
+		}
+		return ps[i].Bits() < ps[j].Bits()
+	})
 }
 
 // announce installs an origin config and propagates resulting changes.
@@ -302,12 +309,7 @@ func (s *Speaker) flush(n topo.ASN) int {
 	for p := range st.pending {
 		prefixes = append(prefixes, p)
 	}
-	sort.Slice(prefixes, func(i, j int) bool {
-		if prefixes[i].Addr() != prefixes[j].Addr() {
-			return prefixes[i].Addr().Less(prefixes[j].Addr())
-		}
-		return prefixes[i].Bits() < prefixes[j].Bits()
-	})
+	sortPrefixes(prefixes)
 	sent := 0
 	for _, p := range prefixes {
 		delete(st.pending, p)

@@ -1,6 +1,7 @@
 package bgp
 
 import (
+	"slices"
 	"testing"
 
 	"lifeguard/internal/simclock"
@@ -64,6 +65,7 @@ func TestSelectivePoisoningVsPrepending(t *testing.T) {
 				out = append(out, asn)
 			}
 		}
+		slices.Sort(out)
 		return out
 	}
 

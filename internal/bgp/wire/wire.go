@@ -428,9 +428,15 @@ func unmarshalUpdate(b []byte) (Update, error) {
 				u.Communities = append(u.Communities, binary.BigEndian.Uint32(val[i:]))
 			}
 		default:
-			// Unknown attributes are ignored (a well-known mandatory
-			// check belongs to a full implementation).
+			// Unknown attributes are ignored (a full implementation
+			// would distinguish optional from well-known here).
 		}
+	}
+	// RFC 4271 §6.3: NEXT_HOP is well-known mandatory when the message
+	// announces routes. Rejecting its absence here also keeps the
+	// parse→marshal round trip total (found by FuzzUnmarshal).
+	if len(u.NLRI) > 0 && !u.NextHop.Is4() {
+		return u, errors.New("wire: UPDATE announces NLRI without a valid IPv4 NEXT_HOP")
 	}
 	return u, nil
 }

@@ -6,6 +6,8 @@
 package splice
 
 import (
+	"slices"
+
 	"lifeguard/internal/probe"
 	"lifeguard/internal/topo"
 )
@@ -39,11 +41,14 @@ func Reach(top *topo.Topology, origin topo.ASN, avoid map[topo.ASN]bool) map[top
 		}
 	}
 
-	// Phase 2 — one peer edge off any uphill AS.
+	// Phase 2 — one peer edge off any uphill AS. The result is a set, so
+	// expansion order cannot change it, but keep the walk in ASN order
+	// anyway: determinism by construction beats determinism by argument.
 	var frontier []topo.ASN
 	for asn := range reached {
 		frontier = append(frontier, asn)
 	}
+	slices.Sort(frontier)
 	var down []topo.ASN
 	down = append(down, frontier...)
 	for _, u := range frontier {
