@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint race fuzz-smoke bench lglint lglint-bin clean
+.PHONY: all build test lint race fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
 
 all: build test lint
 
@@ -39,7 +39,19 @@ race:
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/bgp/wire/
 
+# bench is the perf-regression harness: it runs the engine-convergence and
+# dataplane-forwarding benchmarks and refreshes BENCH_pr2.json (ns/op,
+# allocs/op, packets/sec, plus deltas against the recorded baseline).
+# bench-smoke is the 1-iteration variant CI runs; bench-all is a 1x pass
+# over every benchmark in the repo.
 bench:
+	$(GO) run ./cmd/lgbench -benchtime 2s -out BENCH_pr2.json
+
+bench-smoke:
+	@mkdir -p $(BIN)
+	$(GO) run ./cmd/lgbench -benchtime 1x -out $(BIN)/BENCH_smoke.json
+
+bench-all:
 	$(GO) test -bench . -benchtime 1x ./...
 
 clean:

@@ -1,0 +1,189 @@
+// Command lgbench is the benchmark-regression harness: it runs the
+// engine-convergence and dataplane-forwarding benchmarks (the two hot paths
+// every experiment pays for) with -benchmem and records the headline
+// metrics — ns/op, B/op, allocs/op, and packets/sec for the per-packet
+// benchmarks — as JSON.
+//
+// The output file doubles as the regression ledger: the first run seeds a
+// "baseline" section, and later runs refresh only "current" (plus a "delta"
+// section comparing the two), so the committed file always shows the perf
+// trajectory since the baseline was taken. Re-seed deliberately by deleting
+// the file.
+//
+//	go run ./cmd/lgbench -benchtime 2s -out BENCH_pr2.json   # make bench
+//	go run ./cmd/lgbench -benchtime 1x -out /tmp/smoke.json  # CI smoke
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// benchPattern selects the harnessed benchmarks: control-plane convergence,
+// the LPM lookup primitive, and end-to-end packet forwarding.
+const benchPattern = "BenchmarkConvergence|BenchmarkLookupLPM|BenchmarkDataplane"
+
+var benchPackages = []string{"./internal/bgp/", "./internal/dataplane/"}
+
+// Metrics is one benchmark's headline numbers.
+type Metrics struct {
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	BytesPerOp    float64 `json:"bytes_per_op"`
+	AllocsPerOp   float64 `json:"allocs_per_op"`
+	PacketsPerSec float64 `json:"packets_per_sec,omitempty"`
+}
+
+// Delta compares current against baseline for one benchmark.
+type Delta struct {
+	// Speedup is baseline ns/op divided by current ns/op (>1 is faster).
+	Speedup float64 `json:"speedup"`
+	// AllocRatio is current allocs/op divided by baseline allocs/op
+	// (<1 is fewer allocations).
+	AllocRatio float64 `json:"alloc_ratio"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Schema    string             `json:"schema"`
+	GoVersion string             `json:"go_version"`
+	Benchtime string             `json:"benchtime"`
+	Note      string             `json:"note"`
+	Baseline  map[string]Metrics `json:"baseline"`
+	Current   map[string]Metrics `json:"current"`
+	Delta     map[string]Delta   `json:"delta,omitempty"`
+}
+
+func main() {
+	benchtime := flag.String("benchtime", "2s", "go test -benchtime value (e.g. 2s or 1x for a smoke run)")
+	out := flag.String("out", "BENCH_pr2.json", "output JSON file; an existing file's baseline section is preserved")
+	flag.Parse()
+
+	current, err := runBenchmarks(*benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgbench:", err)
+		os.Exit(1)
+	}
+	if len(current) == 0 {
+		fmt.Fprintln(os.Stderr, "lgbench: no benchmark results parsed")
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Schema:    "lifeguard-bench/v1",
+		GoVersion: runtime.Version(),
+		Benchtime: *benchtime,
+		Note: "baseline is seeded on the first run against this file and " +
+			"kept on later runs; delete the file to re-seed",
+		Baseline: loadBaseline(*out),
+		Current:  current,
+	}
+	if rep.Baseline == nil {
+		rep.Baseline = current
+	}
+	rep.Delta = deltas(rep.Baseline, current)
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgbench:", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "lgbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lgbench: wrote %d benchmarks to %s\n", len(current), *out)
+}
+
+// runBenchmarks shells out to go test and parses the -benchmem result lines.
+func runBenchmarks(benchtime string) (map[string]Metrics, error) {
+	args := []string{"test", "-run", "^$", "-bench", benchPattern,
+		"-benchmem", "-benchtime", benchtime}
+	args = append(args, benchPackages...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	os.Stdout.Write(outBytes)
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w", err)
+	}
+	results := make(map[string]Metrics)
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		name, m, ok := parseBenchLine(line)
+		if ok {
+			results[name] = m
+		}
+	}
+	return results, nil
+}
+
+// parseBenchLine decodes one "BenchmarkX-8  N  ns/op  B/op  allocs/op"
+// line; ok=false for anything else (headers, PASS, package summaries).
+func parseBenchLine(line string) (string, Metrics, bool) {
+	f := strings.Fields(line)
+	if len(f) < 8 || !strings.HasPrefix(f[0], "Benchmark") {
+		return "", Metrics{}, false
+	}
+	if f[3] != "ns/op" || f[5] != "B/op" || f[7] != "allocs/op" {
+		return "", Metrics{}, false
+	}
+	iters, err1 := strconv.Atoi(f[1])
+	ns, err2 := strconv.ParseFloat(f[2], 64)
+	bytes, err3 := strconv.ParseFloat(f[4], 64)
+	allocs, err4 := strconv.ParseFloat(f[6], 64)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return "", Metrics{}, false
+	}
+	// Strip the -GOMAXPROCS suffix so names are stable across machines.
+	name := f[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	m := Metrics{Iterations: iters, NsPerOp: ns, BytesPerOp: bytes, AllocsPerOp: allocs}
+	// The dataplane benchmarks forward exactly one packet per op, so the
+	// inverse rate is the headline packets/sec figure.
+	if strings.HasPrefix(name, "BenchmarkDataplane") && ns > 0 {
+		m.PacketsPerSec = 1e9 / ns
+	}
+	return name, m, true
+}
+
+// loadBaseline returns the baseline section of an existing report, or nil.
+func loadBaseline(path string) map[string]Metrics {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev Report
+	if err := json.Unmarshal(buf, &prev); err != nil || len(prev.Baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "lgbench: %s exists but has no usable baseline; re-seeding\n", path)
+		return nil
+	}
+	return prev.Baseline
+}
+
+// deltas compares benchmarks present in both runs.
+func deltas(baseline, current map[string]Metrics) map[string]Delta {
+	d := make(map[string]Delta)
+	for name, base := range baseline {
+		now, ok := current[name]
+		if !ok || now.NsPerOp == 0 {
+			continue
+		}
+		dl := Delta{Speedup: base.NsPerOp / now.NsPerOp}
+		if base.AllocsPerOp > 0 {
+			dl.AllocRatio = now.AllocsPerOp / base.AllocsPerOp
+		}
+		d[name] = dl
+	}
+	return d
+}

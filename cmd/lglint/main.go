@@ -1,4 +1,4 @@
-// Command lglint is the repository's vet tool: four custom analyzers that
+// Command lglint is the repository's vet tool: five custom analyzers that
 // enforce LIFEGUARD's determinism and concurrency invariants at compile
 // time, complementing the runtime checks in determinism_test.go and
 // internal/bgp/invariants_test.go.
@@ -7,7 +7,7 @@
 // build cache with full type information:
 //
 //	go build -o bin/lglint ./cmd/lglint
-//	go vet -vettool=bin/lglint ./...     # all four analyzers
+//	go vet -vettool=bin/lglint ./...     # all five analyzers
 //	go vet -vettool=bin/lglint -maporder ./...   # just one
 //
 // or simply `make lint`, which also runs the standard vet passes.
@@ -18,6 +18,7 @@
 //	seededrand     no global math/rand or crypto/rand (inject *rand.Rand)
 //	maporder       no order-sensitive output from map iteration
 //	lockcopyplus   no lock-bearing structs moved by value in signatures
+//	valleyfree     export policy must guard both sides of the valley-free rule
 //
 // A finding can be suppressed, with a mandatory written reason, by
 //
@@ -33,6 +34,7 @@ import (
 	"lifeguard/internal/analysis/maporder"
 	"lifeguard/internal/analysis/seededrand"
 	"lifeguard/internal/analysis/simclockcheck"
+	"lifeguard/internal/analysis/valleyfree"
 )
 
 func main() {
@@ -41,5 +43,6 @@ func main() {
 		seededrand.Analyzer,
 		maporder.Analyzer,
 		lockcopyplus.Analyzer,
+		valleyfree.Analyzer,
 	)
 }

@@ -1,0 +1,72 @@
+// Package a exercises the flagged forms: export functions that enforce
+// only one side — or neither side — of the valley-free rule.
+package a
+
+type Rel int
+
+const (
+	RelCustomer Rel = iota
+	RelPeer
+	RelProvider
+)
+
+type Path []uint32
+
+type Route struct {
+	Path Path
+	Rel  Rel
+}
+
+type table struct {
+	best map[string]*Route
+	rel  map[uint32]Rel
+}
+
+// exportRouteOnly kept the learned-route clause and lost the neighbor one:
+// customer-learned routes now leak to peers and providers alike.
+func (t *table) exportRouteOnly(key string) (Path, bool) { // want `exportRouteOnly checks the route's relationship but never the neighbor's`
+	b := t.best[key]
+	if b == nil {
+		return nil, false
+	}
+	if b.Rel != RelCustomer {
+		return nil, false
+	}
+	return b.Path, true
+}
+
+// exportNeighborOnly kept the neighbor clause and lost the learned-route
+// one: provider-learned routes now transit to other providers.
+func (t *table) exportNeighborOnly(n uint32, key string) (Path, bool) { // want `exportNeighborOnly checks the neighbor's relationship but never the learned route's`
+	b := t.best[key]
+	if b == nil {
+		return nil, false
+	}
+	if t.rel[n] != RelCustomer {
+		return nil, false
+	}
+	return b.Path, true
+}
+
+// exportNoGuards reads relationship state but never compares it against
+// RelCustomer at all.
+func (t *table) exportNoGuards(key string) Path { // want `exportNoGuards consults BGP relationship state but has neither valley-free guard`
+	b := t.best[key]
+	if b == nil {
+		return nil
+	}
+	if b.Rel == RelPeer {
+		return nil
+	}
+	return b.Path
+}
+
+// exportSwitchRouteOnly spells its single (route-side) guard as a switch;
+// the missing neighbor side is still reported.
+func exportSwitchRouteOnly(b *Route) (Path, bool) { // want `exportSwitchRouteOnly checks the route's relationship but never the neighbor's`
+	switch b.Rel {
+	case RelCustomer:
+		return b.Path, true
+	}
+	return nil, false
+}

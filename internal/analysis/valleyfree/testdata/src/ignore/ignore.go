@@ -1,0 +1,33 @@
+// Package ignore proves suppression and malformed-directive reporting for
+// valleyfree.
+package ignore
+
+type Rel int
+
+const (
+	RelCustomer Rel = iota
+	RelPeer
+)
+
+type Path []uint32
+
+type Route struct {
+	Path Path
+	Rel  Rel
+}
+
+//lint:ignore lglint/valleyfree testdata: one-sided on purpose, the caller handles the neighbor side
+func exportSuppressed(b *Route) (Path, bool) {
+	if b.Rel != RelCustomer {
+		return nil, false
+	}
+	return b.Path, true
+}
+
+func exportReported(b *Route) (Path, bool) { // want `exportReported checks the route's relationship but never the neighbor's`
+	/* want `missing a reason` */ //lint:ignore lglint/valleyfree
+	if b.Rel != RelCustomer {
+		return nil, false
+	}
+	return b.Path, true
+}

@@ -1,0 +1,11 @@
+package valleyfree
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestValleyfree(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "clean", "ignore")
+}

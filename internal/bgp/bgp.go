@@ -50,6 +50,22 @@ type Route struct {
 	Communities []Community
 	// Originated marks locally-originated routes.
 	Originated bool
+
+	// exportPath caches Path prepended with the owning speaker's ASN (see
+	// Route.exported). A Route instance belongs to exactly one speaker's
+	// adj-RIB-in (or is its originated route), so the cache never crosses
+	// speakers.
+	exportPath topo.Path
+}
+
+// exported returns Path prepended with self, computed once: Path never
+// mutates after construction and every neighbor receives the same prepended
+// path, so one allocation serves all exports of this route.
+func (r *Route) exported(self topo.ASN) topo.Path {
+	if r.exportPath == nil {
+		r.exportPath = r.Path.Prepend(self)
+	}
+	return r.exportPath
 }
 
 // NextHop returns the neighbor AS traffic is forwarded to, and false for
@@ -109,6 +125,38 @@ type OriginConfig struct {
 	// MED is advertised to all neighbors (meaningful only to multi-link
 	// neighbors; carried for completeness).
 	MED int
+}
+
+// sanitized returns a deep copy of c. Announce applies it at the API
+// boundary, so the engine's internals (export, lastAdv dedup, deliveries)
+// can alias the config's paths and community slices freely without a caller
+// mutating them underneath — and the hot flush path needs no per-message
+// defensive clones.
+func (c OriginConfig) sanitized() OriginConfig {
+	c.Pattern = c.Pattern.Clone()
+	if c.PerNeighbor != nil {
+		m := make(map[topo.ASN]topo.Path, len(c.PerNeighbor))
+		for n, p := range c.PerNeighbor {
+			m[n] = p.Clone()
+		}
+		c.PerNeighbor = m
+	}
+	if c.Withhold != nil {
+		m := make(map[topo.ASN]bool, len(c.Withhold))
+		for n, v := range c.Withhold {
+			m[n] = v
+		}
+		c.Withhold = m
+	}
+	c.Communities = append([]Community(nil), c.Communities...)
+	if c.PerNeighborCommunities != nil {
+		m := make(map[topo.ASN][]Community, len(c.PerNeighborCommunities))
+		for n, cs := range c.PerNeighborCommunities {
+			m[n] = append([]Community(nil), cs...)
+		}
+		c.PerNeighborCommunities = m
+	}
+	return c
 }
 
 // pattern returns the effective path pattern announced to neighbor n.

@@ -127,6 +127,48 @@ func TestDampeningDisabledByDefault(t *testing.T) {
 	}
 }
 
+// TestDuplicateReadvertisementNotPenalized is the regression test for the
+// RFC 2439 §4.4.3 rule that only updates which *change* an existing route
+// count as flaps. The pre-fix Speaker.receive noted a flap before the
+// routesEqual dedup check, so a neighbor re-sending its current route (a
+// common BGP occurrence after e.g. a session refresh) accrued penalty and
+// could be suppressed without ever flapping. Updates are injected with
+// receive directly because the sender-side flush dedup would otherwise
+// filter the duplicates before they reach the receiver.
+func TestDuplicateReadvertisementNotPenalized(t *testing.T) {
+	e, _ := dampNet(t)
+	prefix := topo.ProductionPrefix(1)
+	s := e.Speaker(2)
+	adv := func(p topo.Path) { s.receive(1, update{prefix: prefix, path: p}) }
+
+	adv(topo.Path{1}) // first announcement ever: not a flap
+	if got := s.Penalty(1, prefix); got != 0 {
+		t.Fatalf("first announcement penalized: %v", got)
+	}
+	adv(topo.Path{1}) // identical re-advertisement: nothing changed
+	if got := s.Penalty(1, prefix); got != 0 {
+		t.Fatalf("duplicate re-advertisement penalized: %v", got)
+	}
+	adv(topo.Path{1, 9, 1}) // genuine path change: one flap
+	p1 := s.Penalty(1, prefix)
+	if p1 <= 0 {
+		t.Fatal("genuine path change not penalized")
+	}
+	adv(topo.Path{1, 9, 1}) // duplicate of the changed route: no extra flap
+	if got := s.Penalty(1, prefix); got != p1 {
+		t.Fatalf("duplicate after change penalized: %v, want %v", got, p1)
+	}
+	s.receive(1, update{prefix: prefix}) // withdrawing a known route: one flap
+	p2 := s.Penalty(1, prefix)
+	if p2 <= p1 {
+		t.Fatalf("withdrawal not penalized: %v, want > %v", p2, p1)
+	}
+	s.receive(1, update{prefix: prefix}) // withdrawing nothing: not a flap
+	if got := s.Penalty(1, prefix); got != p2 {
+		t.Fatalf("redundant withdrawal penalized: %v, want %v", got, p2)
+	}
+}
+
 func TestPenaltyDecay(t *testing.T) {
 	st := dampState{penalty: 2000, updatedAt: 0}
 	half := 15 * time.Minute

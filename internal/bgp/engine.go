@@ -76,23 +76,60 @@ func (e *Engine) Originate(asn topo.ASN, prefix netip.Prefix) {
 // Announce installs (or replaces) the origin configuration for prefix at asn
 // and propagates the resulting updates. Use it for baseline prepending,
 // poisoning, selective poisoning, and selective advertising alike.
+//
+// Announce panics on an invalid request (unknown AS, malformed pattern, or
+// unusable prefix) — convenient for tests and experiment scripts where an
+// invalid announcement is a programming error. Operational callers that
+// must survive bad input use AnnounceErr; the two are otherwise identical.
 func (e *Engine) Announce(asn topo.ASN, prefix netip.Prefix, cfg OriginConfig) {
+	if err := e.AnnounceErr(asn, prefix, cfg); err != nil {
+		panic(err)
+	}
+}
+
+// AnnounceErr is Announce with an error contract instead of panics. It
+// rejects an unknown AS, a pattern violating the §3.1.1 origin conventions
+// (for Pattern and every PerNeighbor override), and a prefix that is not a
+// masked IPv4 prefix (the address plan is IPv4-only, and the loc-RIB and
+// LPM index key by the masked form). On error nothing is installed and no
+// update propagates. The config is deep-copied before installation, so the
+// caller may reuse or mutate it afterwards.
+func (e *Engine) AnnounceErr(asn topo.ASN, prefix netip.Prefix, cfg OriginConfig) error {
 	s := e.speakers[asn]
 	if s == nil {
-		panic(fmt.Sprintf("bgp: Announce from unknown AS %d", asn))
+		return fmt.Errorf("bgp: Announce from unknown AS %d", asn)
+	}
+	if err := validatePrefix(prefix); err != nil {
+		return err
 	}
 	if err := validatePattern(asn, cfg.Pattern); err != nil {
-		panic(err)
+		return err
 	}
 	for n, p := range cfg.PerNeighbor {
 		if err := validatePattern(asn, p); err != nil {
-			panic(fmt.Errorf("per-neighbor %d: %w", n, err))
+			return fmt.Errorf("per-neighbor %d: %w", n, err)
 		}
 	}
+	cfg = cfg.sanitized()
 	s.announce(prefix, cfg)
 	if e.OnOriginChange != nil {
 		e.OnOriginChange(asn, prefix, &cfg)
 	}
+	return nil
+}
+
+// validatePrefix enforces the RIB keying contract: announced prefixes are
+// masked IPv4 prefixes. Anything else would be unreachable (IPv6 has no
+// routers in the address plan) or would alias its masked form in lookups
+// while remaining a distinct exact-match key.
+func validatePrefix(p netip.Prefix) error {
+	if !p.IsValid() || !p.Addr().Is4() {
+		return fmt.Errorf("bgp: prefix %v is not a valid IPv4 prefix", p)
+	}
+	if p != p.Masked() {
+		return fmt.Errorf("bgp: prefix %v has host bits set (use %v)", p, p.Masked())
+	}
+	return nil
 }
 
 // validatePattern enforces the §3.1.1 conventions: the origin must be both
@@ -111,16 +148,28 @@ func validatePattern(self topo.ASN, p topo.Path) error {
 }
 
 // Withdraw removes asn's origin configuration for prefix and propagates
-// withdrawals.
+// withdrawals. Like Announce it panics on an unknown AS (it used to no-op
+// silently, hiding typos in experiment scripts); withdrawing a prefix the
+// AS does not originate remains a harmless no-op. Operational callers use
+// WithdrawErr.
 func (e *Engine) Withdraw(asn topo.ASN, prefix netip.Prefix) {
+	if err := e.WithdrawErr(asn, prefix); err != nil {
+		panic(err)
+	}
+}
+
+// WithdrawErr is Withdraw with an error contract instead of panics: an
+// unknown AS is an error; withdrawing a non-originated prefix is a no-op.
+func (e *Engine) WithdrawErr(asn topo.ASN, prefix netip.Prefix) error {
 	s := e.speakers[asn]
 	if s == nil {
-		return
+		return fmt.Errorf("bgp: Withdraw from unknown AS %d", asn)
 	}
 	s.withdrawOrigin(prefix)
 	if e.OnOriginChange != nil {
 		e.OnOriginChange(asn, prefix, nil)
 	}
+	return nil
 }
 
 // BestRoute returns asn's selected route for an exact prefix.
@@ -133,22 +182,23 @@ func (e *Engine) BestRoute(asn topo.ASN, prefix netip.Prefix) (*Route, bool) {
 	return r, ok
 }
 
-// Lookup performs longest-prefix match for addr in asn's loc-RIB.
+// Lookup performs longest-prefix match for addr in asn's loc-RIB. It reads
+// the speaker's compiled LPM index (see lpm.go), so a miss or hit costs a
+// bounded trie walk with no allocations — this is the data plane's
+// per-forwarding-hop primitive. The full IPv4 length range /0../32 matches,
+// default routes included; non-IPv4 addresses (which the address plan never
+// routes) report no route.
 func (e *Engine) Lookup(asn topo.ASN, addr netip.Addr) (*Route, bool) {
 	s := e.speakers[asn]
-	if s == nil || !addr.Is4() {
+	if s == nil {
 		return nil, false
 	}
-	for bits := 32; bits >= 8; bits-- {
-		p, err := addr.Prefix(bits)
-		if err != nil {
-			return nil, false
-		}
-		if r, ok := s.best[p]; ok {
-			return r, true
-		}
+	key, ok := v4Key(addr)
+	if !ok {
+		return nil, false
 	}
-	return nil, false
+	r := s.lpm.lookup(key)
+	return r, r != nil
 }
 
 // ASPathTo returns asn's current AS-level path toward addr (LPM), nil if it
@@ -227,8 +277,10 @@ func (e *Engine) armPhase(fn func()) {
 	})
 }
 
+// notifyBest publishes a loc-RIB change. The path is cloned here, behind
+// the nil check, so runs without an observer pay no per-change allocation.
 func (e *Engine) notifyBest(asn topo.ASN, prefix netip.Prefix, path topo.Path) {
 	if e.OnBestChange != nil {
-		e.OnBestChange(BestChange{At: e.clk.Now(), AS: asn, Prefix: prefix, Path: path})
+		e.OnBestChange(BestChange{At: e.clk.Now(), AS: asn, Prefix: prefix, Path: path.Clone()})
 	}
 }

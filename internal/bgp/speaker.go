@@ -16,9 +16,14 @@ type Speaker struct {
 	adjIn map[netip.Prefix]map[topo.ASN]*Route
 	// best is the loc-RIB: the selected route per prefix.
 	best map[netip.Prefix]*Route
-	// origin holds locally-originated prefixes and their announcement
-	// policies.
-	origin map[netip.Prefix]OriginConfig
+	// lpm is the compiled longest-prefix-match index over best, maintained
+	// incrementally by decide (see lpm.go). Engine.Lookup — the data-plane
+	// hot path — reads it instead of probing best per candidate length.
+	lpm lpmIndex
+	// origin holds locally-originated prefixes: the (sanitized) announcement
+	// policy plus the originated loc-RIB route, built once per Announce so
+	// decide does not reallocate it on every update.
+	origin map[netip.Prefix]*originEntry
 	// out tracks per-neighbor send state (MRAI batching + dedup).
 	out map[topo.ASN]*outState
 	// damp tracks RFC 2439 flap state per (neighbor, prefix).
@@ -29,6 +34,35 @@ type Speaker struct {
 	commActions map[Community]CommunityAction
 
 	neighbors []topo.ASN // sorted, cached
+	// flushBuf is the scratch slice flush sorts pending prefixes into;
+	// flush never nests (deliveries are scheduled, not synchronous), so one
+	// buffer per speaker removes a per-flush allocation.
+	flushBuf []netip.Prefix
+}
+
+// originEntry pairs an origin policy with its pre-built loc-RIB route and
+// the cached plain [self] pattern, so per-flush exports of a zero-config
+// origination allocate nothing.
+type originEntry struct {
+	cfg   OriginConfig
+	route *Route
+	plain topo.Path // the [self] path announced when cfg.Pattern is nil
+}
+
+// pattern mirrors OriginConfig.pattern but returns the cached plain path
+// instead of constructing one.
+func (ent *originEntry) pattern(n topo.ASN) (topo.Path, bool) {
+	c := &ent.cfg
+	if c.Withhold[n] {
+		return nil, false
+	}
+	if p, ok := c.PerNeighbor[n]; ok {
+		return p, true
+	}
+	if c.Pattern != nil {
+		return c.Pattern, true
+	}
+	return ent.plain, true
 }
 
 type advRecord struct {
@@ -48,7 +82,7 @@ func newSpeaker(e *Engine, asn topo.ASN) *Speaker {
 		asn:       asn,
 		adjIn:     make(map[netip.Prefix]map[topo.ASN]*Route),
 		best:      make(map[netip.Prefix]*Route),
-		origin:    make(map[netip.Prefix]OriginConfig),
+		origin:    make(map[netip.Prefix]*originEntry),
 		out:       make(map[topo.ASN]*outState),
 		damp:      make(map[dampKey]*dampState),
 		downNbrs:  make(map[topo.ASN]bool),
@@ -103,9 +137,21 @@ func sortPrefixes(ps []netip.Prefix) {
 	})
 }
 
-// announce installs an origin config and propagates resulting changes.
+// announce installs an origin config (already sanitized by the engine) and
+// propagates resulting changes.
 func (s *Speaker) announce(prefix netip.Prefix, cfg OriginConfig) {
-	s.origin[prefix] = cfg
+	s.origin[prefix] = &originEntry{
+		cfg:   cfg,
+		plain: topo.Path{s.asn},
+		route: &Route{
+			Prefix:      prefix,
+			Path:        topo.Path{},
+			From:        s.asn,
+			LocalPref:   prefOriginated,
+			Communities: cfg.Communities,
+			Originated:  true,
+		},
+	}
 	s.decide(prefix)
 	// Even when the loc-RIB didn't change (origin routes always win),
 	// the exported pattern may have: re-advertise everywhere.
@@ -124,18 +170,17 @@ func (s *Speaker) withdrawOrigin(prefix netip.Prefix) {
 // receive applies one update from a neighbor.
 func (s *Speaker) receive(from topo.ASN, u update) {
 	m := s.adjIn[u.prefix]
-	if s.e.cfg.Dampening.Enabled {
-		// A flap is any change to an already-known route: a withdrawal
-		// or a replacement announcement (RFC 2439 §4.4.3).
-		if old := m[from]; old != nil {
-			s.noteFlap(dampKey{from: from, prefix: u.prefix})
-		}
-	}
+	old := m[from]
 	if u.path == nil || !s.importOK(from, u.path) {
 		// Withdrawal, or a route rejected by import policy: either way
 		// the neighbor no longer offers a usable route.
-		if m == nil || m[from] == nil {
+		if old == nil {
 			return
+		}
+		// Losing a known route is a genuine change, so it counts as a
+		// flap (RFC 2439 §4.4.3).
+		if s.e.cfg.Dampening.Enabled {
+			s.noteFlap(dampKey{from: from, prefix: u.prefix})
 		}
 		delete(m, from)
 	} else {
@@ -152,8 +197,15 @@ func (s *Speaker) receive(from topo.ASN, u update) {
 		if s.communityAction(u.communities) == ActionLowerPref {
 			r.LocalPref = prefBackup
 		}
-		if old := m[from]; old != nil && routesEqual(old, r) {
+		if old != nil && routesEqual(old, r) {
+			// Duplicate re-advertisement: RFC 2439 §4.4.3 counts only
+			// updates that *change* an existing route, so no penalty.
 			return
+		}
+		// A replacement announcement for a known route is a flap; the
+		// first announcement from this neighbor is not.
+		if s.e.cfg.Dampening.Enabled && old != nil {
+			s.noteFlap(dampKey{from: from, prefix: u.prefix})
 		}
 		if m == nil {
 			m = make(map[topo.ASN]*Route)
@@ -201,15 +253,8 @@ func (s *Speaker) importOK(from topo.ASN, path topo.Path) bool {
 // changed.
 func (s *Speaker) decide(prefix netip.Prefix) bool {
 	var newBest *Route
-	if cfg, ok := s.origin[prefix]; ok {
-		newBest = &Route{
-			Prefix:      prefix,
-			Path:        topo.Path{},
-			From:        s.asn,
-			LocalPref:   prefOriginated,
-			Communities: cfg.Communities,
-			Originated:  true,
-		}
+	if ent, ok := s.origin[prefix]; ok {
+		newBest = ent.route
 	}
 	for n, r := range s.adjIn[prefix] {
 		if s.e.cfg.Dampening.Enabled && s.Suppressed(n, prefix) {
@@ -225,10 +270,12 @@ func (s *Speaker) decide(prefix netip.Prefix) bool {
 	}
 	if newBest == nil {
 		delete(s.best, prefix)
+		s.lpm.remove(prefix)
 		s.e.notifyBest(s.asn, prefix, nil)
 	} else {
 		s.best[prefix] = newBest
-		s.e.notifyBest(s.asn, prefix, newBest.Path.Clone())
+		s.lpm.insert(prefix, newBest)
+		s.e.notifyBest(s.asn, prefix, newBest.Path)
 	}
 	return true
 }
@@ -305,11 +352,12 @@ func (s *Speaker) flush(n topo.ASN) int {
 	if len(st.pending) == 0 {
 		return 0
 	}
-	prefixes := make([]netip.Prefix, 0, len(st.pending))
+	prefixes := s.flushBuf[:0]
 	for p := range st.pending {
 		prefixes = append(prefixes, p)
 	}
 	sortPrefixes(prefixes)
+	s.flushBuf = prefixes
 	sent := 0
 	for _, p := range prefixes {
 		delete(st.pending, p)
@@ -350,8 +398,9 @@ func communitiesEqual(a, b []Community) bool {
 // stripping. ok=false means "no announcement" (neighbor should hold no
 // route from us).
 func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (path topo.Path, comms []Community, med int, ok bool) {
-	if cfg, isOrigin := s.origin[p]; isOrigin {
-		pat, announce := cfg.pattern(s.asn, n)
+	if ent, isOrigin := s.origin[p]; isOrigin {
+		cfg := &ent.cfg
+		pat, announce := ent.pattern(n)
 		if !announce {
 			return nil, nil, 0, false
 		}
@@ -359,7 +408,10 @@ func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (path topo.Path, comms []
 		if per, ok := cfg.PerNeighborCommunities[n]; ok {
 			cs = per
 		}
-		return pat.Clone(), append([]Community(nil), cs...), cfg.MED, true
+		// The config was deep-copied at the Announce boundary and paths
+		// and community slices are immutable from there on, so the
+		// per-flush defensive clones are gone from this hot path.
+		return pat, cs, cfg.MED, true
 	}
 	b := s.best[p]
 	if b == nil || b.From == n {
@@ -376,10 +428,10 @@ func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (path topo.Path, comms []
 	if blockExport(s.communityAction(b.Communities), relToN) {
 		return nil, nil, 0, false
 	}
-	out := b.Path.Prepend(s.asn)
+	out := b.exported(s.asn)
 	c := b.Communities
 	if s.e.top.AS(s.asn).StripCommunities {
 		c = nil
 	}
-	return out, append([]Community(nil), c...), 0, true
+	return out, c, 0, true
 }

@@ -9,9 +9,9 @@ import (
 	"lifeguard/internal/topogen"
 )
 
-// BenchmarkForward measures an end-to-end packet walk across a ~100-AS
+// BenchmarkDataplaneForward measures an end-to-end packet walk across a ~100-AS
 // internetwork — the primitive under every probe.
-func BenchmarkForward(b *testing.B) {
+func BenchmarkDataplaneForward(b *testing.B) {
 	res, err := topogen.Generate(topogen.Config{Seed: 1, NumTransit: 25, NumStub: 80})
 	if err != nil {
 		b.Fatal(err)
@@ -40,9 +40,9 @@ func BenchmarkForward(b *testing.B) {
 	}
 }
 
-// BenchmarkForwardWithFailures measures the same walk with a rule table
+// BenchmarkDataplaneForwardWithFailures measures the same walk with a rule table
 // installed (the matching cost probes pay during failure experiments).
-func BenchmarkForwardWithFailures(b *testing.B) {
+func BenchmarkDataplaneForwardWithFailures(b *testing.B) {
 	res, err := topogen.Generate(topogen.Config{Seed: 1, NumTransit: 25, NumStub: 80})
 	if err != nil {
 		b.Fatal(err)

@@ -153,11 +153,22 @@ type Plane struct {
 	rib      RIB
 	failures map[FailureID]Rule
 	nextID   FailureID
+	// pathCache memoizes intraPath results. Intra-AS shortest paths are a
+	// pure function of the immutable topology, and probes re-walk the same
+	// router pairs constantly, so the BFS (and its per-hop allocations)
+	// runs once per pair for the lifetime of the plane. The simulation
+	// core is single-goroutine, like the engine it consults.
+	pathCache map[[2]topo.RouterID][]topo.RouterID
 }
 
 // New returns a data plane over the topology, consulting rib at each AS.
 func New(top *topo.Topology, rib RIB) *Plane {
-	return &Plane{top: top, rib: rib, failures: make(map[FailureID]Rule)}
+	return &Plane{
+		top:       top,
+		rib:       rib,
+		failures:  make(map[FailureID]Rule),
+		pathCache: make(map[[2]topo.RouterID][]topo.RouterID),
+	}
 }
 
 // AddFailure installs a failure rule and returns its handle.
@@ -256,7 +267,9 @@ func (pl *Plane) Forward(from topo.RouterID, pkt Packet) Result {
 		c.dstAS = owner
 	}
 
-	res := Result{}
+	// One up-front block sized for typical inter-domain walks keeps hop
+	// recording to a single allocation for almost every packet.
+	res := Result{Hops: make([]Hop, 0, 16)}
 	cur := from
 	first := true
 	step := func(r topo.RouterID) Reason {
@@ -346,10 +359,16 @@ func (pl *Plane) hostRouter(asn topo.ASN, dst netip.Addr) topo.RouterID {
 
 // intraPath returns the routers strictly after "from" on the shortest
 // intra-AS path from → to (empty when from == to). BFS over intra-AS links;
-// ties break by adjacency order, which is fixed at Build time.
+// ties break by adjacency order, which is fixed at Build time. Results are
+// memoized in pathCache; callers iterate the returned slice but must not
+// mutate it.
 func (pl *Plane) intraPath(from, to topo.RouterID) []topo.RouterID {
 	if from == to {
 		return nil
+	}
+	key := [2]topo.RouterID{from, to}
+	if p, ok := pl.pathCache[key]; ok {
+		return p
 	}
 	asn := pl.top.Router(from).AS
 	if pl.top.Router(to).AS != asn {
@@ -384,5 +403,6 @@ func (pl *Plane) intraPath(from, to topo.RouterID) []topo.RouterID {
 	for i := range rev {
 		out[i] = rev[len(rev)-1-i]
 	}
+	pl.pathCache[key] = out
 	return out
 }
