@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint race fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
+.PHONY: all build test lint race debug-test exp-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
 
 all: build test lint
 
@@ -30,26 +30,45 @@ lint: lglint
 	$(GO) vet ./...
 	$(GO) vet -vettool=$(LGLINT) ./...
 
-# The packages with real concurrency: the wire-level session FSM and the
-# monitoring pipeline.
+# The packages with real concurrency: the wire-level session FSM, the
+# monitoring pipeline, and the parallel trial runner (plus the experiments
+# that fan out on it).
 race:
-	$(GO) test -race ./internal/bgp/session/... ./internal/monitor/...
+	$(GO) test -race ./internal/bgp/session/... ./internal/monitor/... ./internal/runner/... ./internal/experiments/...
+
+# debug-test reruns the simulation-bearing packages with the simclockdebug
+# ownership assertion compiled in: any scheduler touched from two
+# goroutines panics instead of silently corrupting a run.
+debug-test:
+	$(GO) test -tags simclockdebug ./internal/simclock/... ./internal/runner/... ./internal/experiments/...
+
+# exp-smoke proves the runner's determinism contract end to end: the lgexp
+# report for a fixed seed must be byte-identical sequentially and on 4
+# workers. Chatter goes to stderr, so stdout diffs clean.
+exp-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lgexp ./cmd/lgexp
+	$(BIN)/lgexp -exp fig1,abl-threshold,abl-dampening -seeds 2 -parallel 1 >$(BIN)/exp_seq.txt
+	$(BIN)/lgexp -exp fig1,abl-threshold,abl-dampening -seeds 2 -parallel 4 >$(BIN)/exp_par.txt
+	diff $(BIN)/exp_seq.txt $(BIN)/exp_par.txt
+	@echo "exp-smoke: sequential and parallel reports are byte-identical"
 
 # A quick fuzz pass over the BGP-4 wire codec; CI runs this on every push.
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/bgp/wire/
 
 # bench is the perf-regression harness: it runs the engine-convergence and
-# dataplane-forwarding benchmarks and refreshes BENCH_pr2.json (ns/op,
-# allocs/op, packets/sec, plus deltas against the recorded baseline).
-# bench-smoke is the 1-iteration variant CI runs; bench-all is a 1x pass
-# over every benchmark in the repo.
+# dataplane-forwarding benchmarks plus the experiment-suite wall-clock
+# timing (sequential vs parallel RunSuite) and refreshes BENCH_pr3.json
+# (ns/op, allocs/op, packets/sec, suite speedup, plus deltas against the
+# recorded baseline). bench-smoke is the 1-iteration variant CI runs;
+# bench-all is a 1x pass over every benchmark in the repo.
 bench:
-	$(GO) run ./cmd/lgbench -benchtime 2s -out BENCH_pr2.json
+	$(GO) run ./cmd/lgbench -benchtime 2s -out BENCH_pr3.json
 
 bench-smoke:
 	@mkdir -p $(BIN)
-	$(GO) run ./cmd/lgbench -benchtime 1x -out $(BIN)/BENCH_smoke.json
+	$(GO) run ./cmd/lgbench -benchtime 1x -suite=false -out $(BIN)/BENCH_smoke.json
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -10,11 +10,17 @@
 // trajectory since the baseline was taken. Re-seed deliberately by deleting
 // the file.
 //
-//	go run ./cmd/lgbench -benchtime 2s -out BENCH_pr2.json   # make bench
+// Besides the micro-benchmarks, lgbench times the experiment suite itself
+// through the internal/runner pool — once sequentially, once at full
+// parallelism — and records the wall-clock speedup (the "suite" section).
+// Disable with -suite=false for the fastest smoke run.
+//
+//	go run ./cmd/lgbench -benchtime 2s -out BENCH_pr3.json   # make bench
 //	go run ./cmd/lgbench -benchtime 1x -out /tmp/smoke.json  # CI smoke
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +29,10 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
+
+	"lifeguard/internal/experiments"
+	"lifeguard/internal/runner"
 )
 
 // benchPattern selects the harnessed benchmarks: control-plane convergence,
@@ -49,6 +59,20 @@ type Delta struct {
 	AllocRatio float64 `json:"alloc_ratio"`
 }
 
+// SuiteTiming records one wall-clock measurement of the experiment suite
+// on the runner pool. Speedup is sequential over parallel wall-clock; it
+// tracks the host's core count (GOMAXPROCS 1 pins it to ~1.0).
+type SuiteTiming struct {
+	GoMaxProcs   int      `json:"gomaxprocs"`
+	Workers      int      `json:"workers"`
+	Experiments  []string `json:"experiments"`
+	Seeds        int      `json:"seeds"`
+	Trials       int      `json:"trials"`
+	SequentialMS float64  `json:"sequential_ms"`
+	ParallelMS   float64  `json:"parallel_ms"`
+	Speedup      float64  `json:"speedup"`
+}
+
 // Report is the file schema.
 type Report struct {
 	Schema    string             `json:"schema"`
@@ -58,11 +82,14 @@ type Report struct {
 	Baseline  map[string]Metrics `json:"baseline"`
 	Current   map[string]Metrics `json:"current"`
 	Delta     map[string]Delta   `json:"delta,omitempty"`
+	Suite     *SuiteTiming       `json:"suite,omitempty"`
 }
 
 func main() {
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime value (e.g. 2s or 1x for a smoke run)")
-	out := flag.String("out", "BENCH_pr2.json", "output JSON file; an existing file's baseline section is preserved")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON file; an existing file's baseline section is preserved")
+	suite := flag.Bool("suite", true, "also time the experiment suite sequentially vs in parallel")
+	seeds := flag.Int("seeds", 2, "seeds per experiment for the suite timing")
 	flag.Parse()
 
 	current, err := runBenchmarks(*benchtime)
@@ -88,6 +115,14 @@ func main() {
 		rep.Baseline = current
 	}
 	rep.Delta = deltas(rep.Baseline, current)
+	if *suite {
+		st, err := measureSuite(*seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lgbench:", err)
+			os.Exit(1)
+		}
+		rep.Suite = st
+	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -100,6 +135,59 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("lgbench: wrote %d benchmarks to %s\n", len(current), *out)
+}
+
+// suiteIDs are the multi-trial experiments the suite timing exercises —
+// the ones whose wall clock actually shards across runner workers.
+var suiteIDs = []string{"efficacy", "fig6", "loss", "abl-threshold", "abl-dampening"}
+
+// measureSuite times the experiment suite once sequentially and once at
+// full parallelism. Both runs produce identical reports (that is the
+// runner's contract, asserted by the committed tests); only the wall
+// clock differs, and only when the host has cores to spare.
+func measureSuite(seeds int) (*SuiteTiming, error) {
+	var exps []experiments.Experiment
+	for _, id := range suiteIDs {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("suite timing: unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	const baseSeed = 1
+	ctx := context.Background()
+
+	timeRun := func(parallelism int) (time.Duration, error) {
+		start := time.Now()
+		_, err := experiments.RunSuite(ctx, exps, baseSeed, seeds, runner.Config{Parallelism: parallelism})
+		return time.Since(start), err
+	}
+
+	seq, err := timeRun(1)
+	if err != nil {
+		return nil, fmt.Errorf("suite timing (sequential): %w", err)
+	}
+	cfg := runner.Config{}
+	par, err := timeRun(cfg.Workers())
+	if err != nil {
+		return nil, fmt.Errorf("suite timing (parallel): %w", err)
+	}
+
+	st := &SuiteTiming{
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Workers:      cfg.Workers(),
+		Experiments:  suiteIDs,
+		Seeds:        seeds,
+		Trials:       experiments.SuiteTrialCount(exps, baseSeed, seeds),
+		SequentialMS: float64(seq.Milliseconds()),
+		ParallelMS:   float64(par.Milliseconds()),
+	}
+	if par > 0 {
+		st.Speedup = float64(seq) / float64(par)
+	}
+	fmt.Printf("lgbench: suite %d trials: sequential %v, parallel %v on %d workers (%.2fx)\n",
+		st.Trials, seq.Round(time.Millisecond), par.Round(time.Millisecond), st.Workers, st.Speedup)
+	return st, nil
 }
 
 // runBenchmarks shells out to go test and parses the -benchmem result lines.

@@ -2,22 +2,41 @@
 // simulated internetwork. Run with no arguments to execute every
 // experiment, or name specific ones:
 //
-//	lgexp                 # everything, paper order
-//	lgexp -exp fig6       # one experiment
-//	lgexp -list           # what exists
+//	lgexp                    # everything, paper order
+//	lgexp -exp fig6          # one experiment
+//	lgexp -list              # what exists
 //	lgexp -seed 7 -exp accuracy
+//	lgexp -seeds 5 -parallel 8   # 5-seed variance report on 8 workers
+//
+// Reports go to stdout; timing and progress chatter go to stderr, so
+// stdout is byte-identical for a fixed seed at every -parallel level
+// (diff it to audit the determinism contract).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
 	"lifeguard/internal/experiments"
+	"lifeguard/internal/runner"
 )
+
+// options collects everything main parses from flags, so tests can drive
+// writeReports directly.
+type options struct {
+	ids       []string // empty: all paper artifacts (or ablations)
+	ablations bool
+	seed      int64
+	seeds     int
+	parallel  int           // runner workers; <=0 means GOMAXPROCS
+	timeout   time.Duration // per-trial wall-clock watchdog; 0 disables
+}
 
 func main() {
 	var (
@@ -26,6 +45,8 @@ func main() {
 		ablations = flag.Bool("ablations", false, "run the design-choice ablations instead")
 		seed      = flag.Int64("seed", 1, "workload/topology seed")
 		seeds     = flag.Int("seeds", 1, "average headline values over this many consecutive seeds")
+		parallel  = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential)")
+		timeout   = flag.Duration("timeout", 0, "per-trial wall-clock timeout (0 = none)")
 	)
 	flag.Parse()
 
@@ -39,66 +60,101 @@ func main() {
 		return
 	}
 
-	var todo []experiments.Experiment
-	switch {
-	case *ablations && *exp == "":
-		todo = experiments.Ablations()
-	case *exp == "":
-		todo = experiments.All()
-	default:
+	opts := options{
+		ablations: *ablations,
+		seed:      *seed,
+		seeds:     *seeds,
+		parallel:  *parallel,
+		timeout:   *timeout,
+	}
+	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
-			e, ok := experiments.ByID(strings.TrimSpace(id))
-			if !ok {
-				fmt.Fprintf(os.Stderr, "lgexp: unknown experiment %q (try -list)\n", id)
-				os.Exit(2)
-			}
-			todo = append(todo, e)
+			opts.ids = append(opts.ids, strings.TrimSpace(id))
 		}
 	}
 
-	for _, e := range todo {
-		// Experiments run entirely on the virtual clock; this stopwatch
-		// only tells the operator how long the real machine took.
-		//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
-		start := time.Now()
-		if *seeds <= 1 {
-			fmt.Print(e.Run(*seed).String())
-		} else {
-			printAveraged(e, *seed, *seeds)
-		}
-		//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
-		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	err := writeReports(context.Background(), os.Stdout, os.Stderr, opts)
+	if err == nil {
+		return
 	}
+	var unknown *unknownExperimentError
+	if errors.As(err, &unknown) {
+		fmt.Fprintf(os.Stderr, "lgexp: %v (try -list)\n", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "lgexp: %v\n", err)
+	var te *runner.TrialError
+	if errors.As(err, &te) && len(te.Stack) > 0 {
+		fmt.Fprintf(os.Stderr, "trial %d stack:\n%s", te.Trial, te.Stack)
+	}
+	os.Exit(1)
 }
 
-// printAveraged runs an experiment across several seeds and reports the
-// mean, min, and max of every headline value — a quick variance check for
-// the topology-dependent results.
-func printAveraged(e experiments.Experiment, base int64, n int) {
-	sums := map[string]float64{}
-	mins := map[string]float64{}
-	maxs := map[string]float64{}
-	var last *experiments.Result
-	for i := 0; i < n; i++ {
-		last = e.Run(base + int64(i))
-		for k, v := range last.Values {
-			sums[k] += v
-			if i == 0 || v < mins[k] {
-				mins[k] = v
-			}
-			if i == 0 || v > maxs[k] {
-				maxs[k] = v
-			}
+type unknownExperimentError struct{ id string }
+
+func (e *unknownExperimentError) Error() string {
+	return fmt.Sprintf("unknown experiment %q", e.id)
+}
+
+// selectExperiments resolves the requested experiment set in paper order.
+func selectExperiments(opts options) ([]experiments.Experiment, error) {
+	switch {
+	case opts.ablations && len(opts.ids) == 0:
+		return experiments.Ablations(), nil
+	case len(opts.ids) == 0:
+		return experiments.All(), nil
+	}
+	var todo []experiments.Experiment
+	for _, id := range opts.ids {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, &unknownExperimentError{id: id}
 		}
+		todo = append(todo, e)
 	}
-	fmt.Printf("### %s — %s (averaged over %d seeds)\n\n", last.ID, last.Title, n)
-	keys := make([]string, 0, len(sums))
-	for k := range sums {
-		keys = append(keys, k)
+	return todo, nil
+}
+
+// writeReports runs the selected experiments across seeds on the runner
+// pool and renders each report to out. Chatter (timings, worker count)
+// goes to errw only: for a fixed configuration the bytes written to out
+// are identical at every parallelism level.
+func writeReports(ctx context.Context, out, errw io.Writer, opts options) error {
+	todo, err := selectExperiments(opts)
+	if err != nil {
+		return err
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Printf("  %-40s mean %-10.4f min %-10.4f max %-10.4f\n",
-			k, sums[k]/float64(n), mins[k], maxs[k])
+	if opts.seeds < 1 {
+		opts.seeds = 1
 	}
+	cfg := runner.Config{Parallelism: opts.parallel, Timeout: opts.timeout}
+
+	// Experiments run entirely on the virtual clock; this stopwatch only
+	// tells the operator how long the real machine took.
+	//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
+	start := time.Now()
+	fmt.Fprintf(errw, "lgexp: %d experiments x %d seeds = %d trials on %d workers\n",
+		len(todo), opts.seeds, experiments.SuiteTrialCount(todo, opts.seed, opts.seeds), cfg.Workers())
+
+	results, err := experiments.RunSuite(ctx, todo, opts.seed, opts.seeds, cfg)
+	if err != nil {
+		return err
+	}
+
+	for ei := range todo {
+		if opts.seeds == 1 {
+			fmt.Fprint(out, results[ei][0].String())
+			fmt.Fprintln(out)
+			continue
+		}
+		agg := experiments.NewAggregate()
+		for _, r := range results[ei] {
+			agg.Add(r)
+		}
+		fmt.Fprint(out, agg.String())
+	}
+
+	//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
+	fmt.Fprintf(errw, "lgexp: suite completed in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }

@@ -49,6 +49,13 @@ var Allowlist = []string{
 	// lgpeer is an operator tool that peers with real BGP speakers
 	// (gobgp, routers); its -linger/-hold windows are real-world time.
 	"lifeguard/cmd/lgpeer",
+	// The trial runner's per-trial timeout is a wall-clock watchdog
+	// against hung simulations; trials themselves stay on the virtual
+	// clock, and the runner never influences their results.
+	"lifeguard/internal/runner",
+	// lgbench measures real wall-clock time by definition — its output is
+	// the machine's speed, not a simulation result.
+	"lifeguard/cmd/lgbench",
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -18,58 +18,89 @@ import (
 // what breaks without it.
 func Ablations() []Experiment {
 	return []Experiment{
-		{"abl-threshold", "poison-maturity threshold: wasted poisons vs downtime avoided (§4.2)", AblationThreshold},
-		{"abl-precheck", "alternate-path precheck: harmful poisons prevented (§4.2)", AblationPrecheck},
-		{"abl-dampening", "unpoison pacing vs route-flap dampening (§5)", AblationDampening},
+		{"abl-threshold", "poison-maturity threshold: wasted poisons vs downtime avoided (§4.2)", thresholdScenario},
+		{"abl-precheck", "alternate-path precheck: harmful poisons prevented (§4.2)", single(AblationPrecheck)},
+		{"abl-dampening", "unpoison pacing vs route-flap dampening (§5)", dampeningScenario},
 	}
 }
 
-// AblationThreshold sweeps the minimum outage age before poisoning. Too
-// eager wastes poisons on outages that were about to heal anyway (pure
-// churn); too patient forfeits avoidable downtime. The paper picks ~5
-// minutes from the Fig. 5 residuals; this quantifies the trade-off.
-func AblationThreshold(seed int64) *Result {
-	r := newResult("abl-threshold", "poison-maturity threshold trade-off")
+// ablationThresholds is the swept set of minimum outage ages, in sweep
+// (and hence trial/row) order.
+var ablationThresholds = []time.Duration{0, time.Minute, 3 * time.Minute, 5 * time.Minute, 10 * time.Minute, 15 * time.Minute}
+
+// thresholdPart is one threshold's partial result. Every trial
+// regenerates the same deterministic event set from the seed, so the
+// per-threshold counts are independent.
+type thresholdPart struct {
+	threshold       time.Duration
+	poisons, wasted int
+	saved, total    float64
+}
+
+func thresholdSweep(seed int64, th time.Duration) *thresholdPart {
 	events := outage.Generate(outage.Config{Seed: seed, N: 50000})
 	const detect = 2 * time.Minute   // monitoring declares after ~4 rounds
 	const converge = 2 * time.Minute // poisoned routes settle
 
-	tab := &metrics.Table{
-		Title:  "ablation — when to poison",
-		Header: []string{"threshold (min)", "poisons", "wasted (healed first)", "wasted frac", "downtime avoided"},
-	}
-	var total float64
+	p := &thresholdPart{threshold: th}
 	for i := range events {
-		total += events[i].Duration.Seconds()
+		p.total += events[i].Duration.Seconds()
 	}
-	for _, th := range []time.Duration{0, time.Minute, 3 * time.Minute, 5 * time.Minute, 10 * time.Minute, 15 * time.Minute} {
-		trigger := detect + th
-		poisons, wasted := 0, 0
-		var saved float64
-		for i := range events {
-			d := events[i].Duration
-			if d <= trigger {
-				continue // healed before we would have poisoned
-			}
-			poisons++
-			if d <= trigger+converge {
-				wasted++ // healed before the poison even converged
-				continue
-			}
-			saved += (d - trigger - converge).Seconds()
+	trigger := detect + th
+	for i := range events {
+		d := events[i].Duration
+		if d <= trigger {
+			continue // healed before we would have poisoned
 		}
-		tab.AddRow(th.Minutes(), poisons, wasted, frac(wasted, poisons), saved/total)
-		key := th.String()
-		r.Values["poisons_"+key] = float64(poisons)
-		r.Values["wasted_frac_"+key] = frac(wasted, poisons)
-		r.Values["avoided_"+key] = saved / total
+		p.poisons++
+		if d <= trigger+converge {
+			p.wasted++ // healed before the poison even converged
+			continue
+		}
+		p.saved += (d - trigger - converge).Seconds()
 	}
-	r.addTable(tab)
-	r.notef("the paper's ~5 min threshold: nearly all long-tail downtime is still avoided while poison volume drops ~%.0fx vs poisoning immediately",
-		r.Values["poisons_0s"]/r.Values["poisons_5m0s"])
-	r.notef("thresholds beyond ~10 min stop paying: wasted-poison rate stays low but avoided downtime declines")
-	return r
+	return p
 }
+
+// thresholdScenario sweeps the minimum outage age before poisoning, one
+// trial per threshold. Too eager wastes poisons on outages that were
+// about to heal anyway (pure churn); too patient forfeits avoidable
+// downtime. The paper picks ~5 minutes from the Fig. 5 residuals; this
+// quantifies the trade-off.
+var thresholdScenario = Scenario{
+	Trials: func(seed int64) []Trial {
+		trials := make([]Trial, len(ablationThresholds))
+		for i, th := range ablationThresholds {
+			th := th
+			trials[i] = Trial{Name: "threshold=" + th.String(), Run: func() any { return thresholdSweep(seed, th) }}
+		}
+		return trials
+	},
+	Reduce: func(_ int64, parts []any) *Result {
+		r := newResult("abl-threshold", "poison-maturity threshold trade-off")
+		tab := &metrics.Table{
+			Title:  "ablation — when to poison",
+			Header: []string{"threshold (min)", "poisons", "wasted (healed first)", "wasted frac", "downtime avoided"},
+		}
+		for _, pa := range parts {
+			p := pa.(*thresholdPart)
+			tab.AddRow(p.threshold.Minutes(), p.poisons, p.wasted, frac(p.wasted, p.poisons), p.saved/p.total)
+			key := p.threshold.String()
+			r.Values["poisons_"+key] = float64(p.poisons)
+			r.Values["wasted_frac_"+key] = frac(p.wasted, p.poisons)
+			r.Values["avoided_"+key] = p.saved / p.total
+		}
+		r.addTable(tab)
+		r.notef("the paper's ~5 min threshold: nearly all long-tail downtime is still avoided while poison volume drops ~%.0fx vs poisoning immediately",
+			r.Values["poisons_0s"]/r.Values["poisons_5m0s"])
+		r.notef("thresholds beyond ~10 min stop paying: wasted-poison rate stays low but avoided downtime declines")
+		return r
+	},
+}
+
+// AblationThreshold regenerates the threshold sweep (sequential reference
+// path over thresholdScenario).
+func AblationThreshold(seed int64) *Result { return thresholdScenario.Run(seed) }
 
 // AblationPrecheck measures what the §4.2 alternate-path precheck buys:
 // without it, a poison against an AS that is some victim's only path cuts
@@ -129,65 +160,96 @@ func AblationPrecheck(seed int64) *Result {
 	return r
 }
 
-// AblationDampening sweeps how fast an origin cycles poison/unpoison on a
-// dampening-enabled internetwork and measures how many ASes end up
-// suppressing the production prefix — the §5 rationale for 90-minute
-// announcement pacing.
-func AblationDampening(seed int64) *Result {
-	r := newResult("abl-dampening", "repair pacing vs route-flap dampening")
-	tab := &metrics.Table{
-		Title:  "ablation — poison/unpoison cycle period vs suppression",
-		Header: []string{"cycle period", "cycles", "peak ASes suppressing", "peak frac suppressing", "peak frac unreachable"},
-	}
-	for _, period := range []time.Duration{5 * time.Minute, 15 * time.Minute, 45 * time.Minute, 90 * time.Minute} {
-		n, victim := dampeningNet(seed)
-		prod := topo.ProductionPrefix(n.origin)
-		base := topo.Path{n.origin, n.origin, n.origin}
-		n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: base})
-		n.converge()
-		cycles := 6
-		maxSuppressing, maxUnreachable := 0, 0
-		sampleState := func() {
-			suppressing, unreachable := 0, 0
-			for _, asn := range n.top.ASNs() {
-				if asn == n.origin {
-					continue
-				}
-				s := n.eng.Speaker(asn)
-				for _, nb := range n.top.Neighbors(asn) {
-					if s.Suppressed(nb, prod) {
-						suppressing++
-						break
-					}
-				}
-				if _, ok := n.eng.BestRoute(asn, prod); !ok {
-					unreachable++
+// ablationPeriods is the swept set of poison/unpoison cycle periods, in
+// sweep (and hence trial/row) order.
+var ablationPeriods = []time.Duration{5 * time.Minute, 15 * time.Minute, 45 * time.Minute, 90 * time.Minute}
+
+// dampeningPart is one cycle period's partial result. Each trial builds
+// its own dampening-enabled internetwork, so the periods sweep in
+// parallel without sharing engine state.
+type dampeningPart struct {
+	period                         time.Duration
+	cycles                         int
+	maxSuppressing, maxUnreachable int
+	asesTotal                      int
+}
+
+func dampeningSweep(seed int64, period time.Duration) *dampeningPart {
+	n, victim := dampeningNet(seed)
+	prod := topo.ProductionPrefix(n.origin)
+	base := topo.Path{n.origin, n.origin, n.origin}
+	n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: base})
+	n.converge()
+	p := &dampeningPart{period: period, cycles: 6, asesTotal: n.top.NumASes() - 1}
+	sampleState := func() {
+		suppressing, unreachable := 0, 0
+		for _, asn := range n.top.ASNs() {
+			if asn == n.origin {
+				continue
+			}
+			s := n.eng.Speaker(asn)
+			for _, nb := range n.top.Neighbors(asn) {
+				if s.Suppressed(nb, prod) {
+					suppressing++
+					break
 				}
 			}
-			maxSuppressing = max(maxSuppressing, suppressing)
-			maxUnreachable = max(maxUnreachable, unreachable)
+			if _, ok := n.eng.BestRoute(asn, prod); !ok {
+				unreachable++
+			}
 		}
-		for i := 0; i < cycles; i++ {
-			n.clk.RunFor(period)
-			n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: topo.Path{n.origin, victim, n.origin}})
-			n.converge()
-			sampleState()
-			n.clk.RunFor(period)
-			n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: base})
-			n.converge()
-			sampleState()
-		}
-		asesTotal := n.top.NumASes() - 1
-		fracSupp := float64(maxSuppressing) / float64(asesTotal)
-		fracUnreach := float64(maxUnreachable) / float64(asesTotal)
-		tab.AddRow(period.String(), cycles, maxSuppressing, fracSupp, fracUnreach)
-		r.Values["frac_suppressing_"+period.String()] = fracSupp
-		r.Values["frac_unreachable_"+period.String()] = fracUnreach
+		p.maxSuppressing = max(p.maxSuppressing, suppressing)
+		p.maxUnreachable = max(p.maxUnreachable, unreachable)
 	}
-	r.addTable(tab)
-	r.notef("fast repair cycling trips RFC 2439 dampening internetwork-wide (5-minute cycling peaks at total unreachability); the paper's 90-minute pacing keeps the impact marginal")
-	return r
+	for i := 0; i < p.cycles; i++ {
+		n.clk.RunFor(period)
+		n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: topo.Path{n.origin, victim, n.origin}})
+		n.converge()
+		sampleState()
+		n.clk.RunFor(period)
+		n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: base})
+		n.converge()
+		sampleState()
+	}
+	return p
 }
+
+// dampeningScenario sweeps how fast an origin cycles poison/unpoison on a
+// dampening-enabled internetwork — one trial per period — and measures
+// how many ASes end up suppressing the production prefix: the §5
+// rationale for 90-minute announcement pacing.
+var dampeningScenario = Scenario{
+	Trials: func(seed int64) []Trial {
+		trials := make([]Trial, len(ablationPeriods))
+		for i, period := range ablationPeriods {
+			period := period
+			trials[i] = Trial{Name: "period=" + period.String(), Run: func() any { return dampeningSweep(seed, period) }}
+		}
+		return trials
+	},
+	Reduce: func(_ int64, parts []any) *Result {
+		r := newResult("abl-dampening", "repair pacing vs route-flap dampening")
+		tab := &metrics.Table{
+			Title:  "ablation — poison/unpoison cycle period vs suppression",
+			Header: []string{"cycle period", "cycles", "peak ASes suppressing", "peak frac suppressing", "peak frac unreachable"},
+		}
+		for _, pa := range parts {
+			p := pa.(*dampeningPart)
+			fracSupp := float64(p.maxSuppressing) / float64(p.asesTotal)
+			fracUnreach := float64(p.maxUnreachable) / float64(p.asesTotal)
+			tab.AddRow(p.period.String(), p.cycles, p.maxSuppressing, fracSupp, fracUnreach)
+			r.Values["frac_suppressing_"+p.period.String()] = fracSupp
+			r.Values["frac_unreachable_"+p.period.String()] = fracUnreach
+		}
+		r.addTable(tab)
+		r.notef("fast repair cycling trips RFC 2439 dampening internetwork-wide (5-minute cycling peaks at total unreachability); the paper's 90-minute pacing keeps the impact marginal")
+		return r
+	},
+}
+
+// AblationDampening regenerates the pacing sweep (sequential reference
+// path over dampeningScenario).
+func AblationDampening(seed int64) *Result { return dampeningScenario.Run(seed) }
 
 // dampeningNet builds a small dampening-enabled internetwork with an origin
 // and a poison victim on collector paths.

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func resultWith(id string, vals map[string]float64) *Result {
+	r := newResult(id, "title for "+id)
+	for k, v := range vals {
+		r.Values[k] = v
+	}
+	return r
+}
+
+// TestAggregateSparseKey is the regression test for the printAveraged
+// min/max bug: a key absent from the first seed used to keep the zero
+// min/max it was initialized with on the `i == 0` branch, reporting e.g.
+// min 0 for a metric that never measured 0. The aggregate must instead
+// track per-key presence and compute min/max only over seeds where the
+// key appeared.
+func TestAggregateSparseKey(t *testing.T) {
+	a := NewAggregate()
+	a.Add(resultWith("x", map[string]float64{"always": 1.0}))
+	a.Add(resultWith("x", map[string]float64{"always": 3.0, "late": 7.5}))
+	a.Add(resultWith("x", map[string]float64{"always": 2.0, "late": 9.5}))
+
+	if got, ok := a.Min("late"); !ok || got != 7.5 {
+		t.Fatalf("Min(late) = %v, %v; want 7.5 (phantom zero from absent first seed?)", got, ok)
+	}
+	out := a.String()
+	if !strings.Contains(out, "late") {
+		t.Fatalf("rendered aggregate missing sparse key:\n%s", out)
+	}
+	// The sparse key's line must carry its real min (7.5) and coverage
+	// annotation, never a phantom 0 min.
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "late") {
+			continue
+		}
+		if !strings.Contains(line, "7.5000") {
+			t.Fatalf("sparse key line lost its real min: %q", line)
+		}
+		if !strings.Contains(line, "(in 2/3 seeds)") {
+			t.Fatalf("sparse key line missing coverage annotation: %q", line)
+		}
+	}
+	// Full-coverage keys are not annotated.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "always") && strings.Contains(line, "seeds)") && strings.Contains(line, "(in") {
+			t.Fatalf("full-coverage key wrongly annotated: %q", line)
+		}
+	}
+}
+
+// TestAggregateMergeMatchesSequentialAdd asserts the parallel-reduction
+// path: folding seed results into shard aggregates and merging them must
+// render byte-identically to one sequential Add pass.
+func TestAggregateMergeMatchesSequentialAdd(t *testing.T) {
+	seeds := []*Result{
+		resultWith("m", map[string]float64{"a": 0.125, "b": 3}),
+		resultWith("m", map[string]float64{"a": 0.25}),
+		resultWith("m", map[string]float64{"a": 0.5, "b": 1, "c": 42}),
+		resultWith("m", map[string]float64{"a": 0.0625, "b": 2}),
+	}
+
+	seq := NewAggregate()
+	for _, r := range seeds {
+		seq.Add(r)
+	}
+
+	left, right := NewAggregate(), NewAggregate()
+	left.Add(seeds[0])
+	left.Add(seeds[1])
+	right.Add(seeds[2])
+	right.Add(seeds[3])
+	merged := NewAggregate()
+	merged.Merge(left)
+	merged.Merge(right)
+
+	if got, want := merged.String(), seq.String(); got != want {
+		t.Fatalf("merged rendering differs from sequential:\n--- merged ---\n%s--- sequential ---\n%s", got, want)
+	}
+	if merged.Seeds() != len(seeds) {
+		t.Fatalf("Seeds() = %d, want %d", merged.Seeds(), len(seeds))
+	}
+}

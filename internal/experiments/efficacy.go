@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"net/netip"
 	"time"
 
 	"lifeguard/internal/bgp"
@@ -12,7 +13,8 @@ import (
 	"lifeguard/internal/topogen"
 )
 
-// Efficacy regenerates the §5.1 effectiveness results:
+// The §5.1 effectiveness results decompose into three independent
+// sub-studies that share only the (deterministically rebuildable) rig:
 //
 //   - Testbed-style: the origin (single provider, Georgia-Tech-style)
 //     harvests every AS on collector-peer paths to its prefix, poisons each
@@ -22,31 +24,51 @@ import (
 //   - Large-scale simulation: for every (source, transit) pair over BGP
 //     paths, does a valley-free route avoiding the transit exist (paper:
 //     90% of 10M cases)?
-//   - Validation: the static simulation must agree with the actual
-//     poisoning outcomes (paper: 92.5% agreement; our engine implements
-//     exactly the policy model, so agreement should be essentially total).
 //   - Isolated-failure check: for failures placed per the outage model,
 //     alternates exist in 94% of cases.
-func Efficacy(seed int64) *Result {
-	r := newResult("tab1-efficacy", "poisoning efficacy")
+//
+// The testbed study also validates the static simulation against actual
+// poisoning outcomes (paper: 92.5% agreement; our engine implements
+// exactly the policy model, so agreement should be essentially total).
+//
+// Each trial builds its own rig from the seed, so the three run on
+// separate workers without sharing an engine or clock. The rig's rng is a
+// single per-seed stream consumed in a fixed order (peer sample → origin
+// sample → site sample); trials that skip an earlier study burn its draws
+// to stay stream-aligned with the sequential reference.
+
+// efficacyRig is the §5.1 deployment every efficacy trial reconstructs:
+// a converged internetwork, an origin announcing the production prefix
+// with the plain baseline, collectors over a peer sample, and the
+// harvested poison victims.
+type efficacyRig struct {
+	n        *net
+	prod     netip.Prefix
+	baseline topo.Path
+	coll     *collectors.Collector
+	victims  []topo.ASN
+}
+
+func buildEfficacyRig(seed int64) *efficacyRig {
 	n := buildWithOrigin(seed, topogen.Config{
 		NumTransit: 30, NumStub: 100,
 		TransitPeerProb: 0.12, StubMultihomeProb: 0.72, TransitExtraProviderProb: 0.8,
 	}, 1)
-	prod := topo.ProductionPrefix(n.origin)
+	rig := &efficacyRig{n: n, prod: topo.ProductionPrefix(n.origin)}
 	gtProvider := n.muxes[0]
 
-	// Route collectors peer with a broad sample of ASes.
+	// Route collectors peer with a broad sample of ASes. (First draw on
+	// the rig's rng stream.)
 	peerSet := sample(n.rng, append(append([]topo.ASN(nil), n.gen.Stubs...), n.gen.Transit...), 60)
-	coll := collectors.New(n.eng)
+	rig.coll = collectors.New(n.eng)
 	for _, p := range peerSet {
 		if p != n.origin {
-			coll.AddPeer(p)
+			rig.coll.AddPeer(p)
 		}
 	}
 
-	baseline := topo.Path{n.origin, n.origin, n.origin}
-	n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: baseline})
+	rig.baseline = topo.Path{n.origin, n.origin, n.origin}
+	n.eng.Announce(n.origin, rig.prod, bgp.OriginConfig{Pattern: rig.baseline})
 	n.converge()
 
 	// Harvest ASes on peer paths, excluding Tier-1s and the origin's
@@ -55,42 +77,70 @@ func Efficacy(seed int64) *Result {
 	for _, t := range n.gen.Tier1s {
 		tier1[t] = true
 	}
-	var victims []topo.ASN
-	for _, a := range coll.HarvestASes(prod, n.origin) {
+	for _, a := range rig.coll.HarvestASes(rig.prod, n.origin) {
 		if !tier1[a] && a != gtProvider {
-			victims = append(victims, a)
+			rig.victims = append(rig.victims, a)
 		}
 	}
+	return rig
+}
 
-	var casesOnPath, foundAlt, stubOnlyProvider int
-	agree := &metrics.Counter{}
-	for _, a := range victims {
+// sampleSimOrigins is the sim study's rng draw. The isolated-failure
+// trial calls it too — discarding the result — so its later draws land on
+// the same stream positions as in a sequential run of all three studies.
+func (rig *efficacyRig) sampleSimOrigins() []topo.ASN {
+	return sample(rig.n.rng, rig.n.gen.Stubs, 25)
+}
+
+// efficacyTestbedPart is the testbed trial's partial result.
+type efficacyTestbedPart struct {
+	victims          int
+	casesOnPath      int
+	foundAlt         int
+	stubOnlyProvider int
+	agree            metrics.Counter
+}
+
+func efficacyTestbed(seed int64) *efficacyTestbedPart {
+	rig := buildEfficacyRig(seed)
+	n := rig.n
+	p := &efficacyTestbedPart{victims: len(rig.victims)}
+	for _, a := range rig.victims {
 		since := n.clk.Now()
-		n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: topo.Path{n.origin, a, n.origin}})
+		n.eng.Announce(n.origin, rig.prod, bgp.OriginConfig{Pattern: topo.Path{n.origin, a, n.origin}})
 		n.converge()
-		rep := coll.ConvergenceReport(prod, since, a)
+		rep := rig.coll.ConvergenceReport(rig.prod, since, a)
 		reach := splice.Reach(n.top, n.origin, splice.Avoid1(a))
 		for _, pc := range rep {
 			if !pc.WasOnPath || pc.Peer == a {
 				continue
 			}
-			casesOnPath++
+			p.casesOnPath++
 			got := pc.FinalPath != nil
 			if got {
-				foundAlt++
+				p.foundAlt++
 			} else if isStubWithOnlyProvider(n.top, pc.Peer, a) {
-				stubOnlyProvider++
+				p.stubOnlyProvider++
 			}
 			// Validation: actual outcome vs static prediction.
-			agree.Observe(got == reach[pc.Peer])
+			p.agree.Observe(got == reach[pc.Peer])
 		}
-		n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: baseline})
+		n.eng.Announce(n.origin, rig.prod, bgp.OriginConfig{Pattern: rig.baseline})
 		n.converge()
 	}
+	return p
+}
 
-	// Large-scale static simulation over every (source, transit) pair.
-	var simCases, simAlt int
-	origins := sample(n.rng, n.gen.Stubs, 25)
+// efficacySimPart is the large-scale static-simulation partial result.
+type efficacySimPart struct {
+	simCases, simAlt int
+}
+
+func efficacySim(seed int64) *efficacySimPart {
+	rig := buildEfficacyRig(seed)
+	n := rig.n
+	p := &efficacySimPart{}
+	origins := rig.sampleSimOrigins()
 	for _, o := range origins {
 		for _, src := range n.top.ASNs() {
 			if src == o {
@@ -104,18 +154,29 @@ func Efficacy(seed int64) *Result {
 			// Skip the destination's immediate provider (last transit):
 			// a single-homed destination can never avoid it.
 			for _, h := range hops[:max(0, len(hops)-1)] {
-				simCases++
+				p.simCases++
 				if splice.CanReach(n.top, src, o, splice.Avoid1(h)) {
-					simAlt++
+					p.simAlt++
 				}
 			}
 		}
 	}
+	return p
+}
 
-	// Isolated-failure check: failure locations drawn per the outage
-	// model on monitored paths.
+// efficacyIsoPart is the isolated-failure partial result.
+type efficacyIsoPart struct {
+	isoCases, isoAlt int
+}
+
+func efficacyIso(seed int64) *efficacyIsoPart {
+	rig := buildEfficacyRig(seed)
+	n := rig.n
+	_ = rig.sampleSimOrigins() // burn the sim study's draw: stream alignment
+	p := &efficacyIsoPart{}
+
+	// Failure locations drawn per the outage model on monitored paths.
 	events := outage.Generate(outage.Config{Seed: seed, N: 1500})
-	var isoCases, isoAlt int
 	sites := sample(n.rng, n.gen.Stubs, 20)
 	for i, ev := range events {
 		src := sites[i%len(sites)]
@@ -137,36 +198,57 @@ func Efficacy(seed int64) *Result {
 		if !ev.Partial || ev.Duration < 10*time.Minute {
 			continue
 		}
-		isoCases++
+		p.isoCases++
 		if splice.CanReach(n.top, src, dst, splice.Avoid1(failAS)) {
-			isoAlt++
+			p.isoAlt++
 		}
 	}
-
-	tab := &metrics.Table{
-		Title:  "Table 1 / §5.1 — do routes around a poisoned AS exist?",
-		Header: []string{"study", "cases", "alternate found", "fraction"},
-	}
-	tab.AddRow("testbed poisons (peers on path)", casesOnPath, foundAlt, frac(foundAlt, casesOnPath))
-	tab.AddRow("large-scale simulation", simCases, simAlt, frac(simAlt, simCases))
-	tab.AddRow("isolated failures", isoCases, isoAlt, frac(isoAlt, isoCases))
-	r.addTable(tab)
-
-	r.Values["poisons"] = float64(len(victims))
-	r.Values["frac_peers_found_alternate"] = frac(foundAlt, casesOnPath)
-	r.Values["frac_failures_stub_only_provider"] = frac(stubOnlyProvider, casesOnPath-foundAlt)
-	r.Values["frac_sim_alternate"] = frac(simAlt, simCases)
-	r.Values["frac_isolated_alternate"] = frac(isoAlt, isoCases)
-	r.Values["sim_vs_testbed_agreement"] = agree.Fraction()
-
-	r.notef("paper: 77%% of on-path collector peers found alternates; measured %.0f%%", frac(foundAlt, casesOnPath)*100)
-	r.notef("paper: two-thirds of no-alternate cases were a stub's only provider; measured %.0f%%",
-		frac(stubOnlyProvider, casesOnPath-foundAlt)*100)
-	r.notef("paper: alternates in 90%% of 10M simulated cases; measured %.0f%% of %d", frac(simAlt, simCases)*100, simCases)
-	r.notef("paper: alternates for 94%% of isolated failures; measured %.0f%%", frac(isoAlt, isoCases)*100)
-	r.notef("paper: simulation matched testbed outcomes in 92.5%% of cases; measured %.1f%%", agree.Percent())
-	return r
+	return p
 }
+
+var efficacyScenario = Scenario{
+	Trials: func(seed int64) []Trial {
+		return []Trial{
+			{Name: "testbed", Run: func() any { return efficacyTestbed(seed) }},
+			{Name: "simulation", Run: func() any { return efficacySim(seed) }},
+			{Name: "isolated", Run: func() any { return efficacyIso(seed) }},
+		}
+	},
+	Reduce: func(_ int64, parts []any) *Result {
+		tb := parts[0].(*efficacyTestbedPart)
+		sim := parts[1].(*efficacySimPart)
+		iso := parts[2].(*efficacyIsoPart)
+
+		r := newResult("tab1-efficacy", "poisoning efficacy")
+		tab := &metrics.Table{
+			Title:  "Table 1 / §5.1 — do routes around a poisoned AS exist?",
+			Header: []string{"study", "cases", "alternate found", "fraction"},
+		}
+		tab.AddRow("testbed poisons (peers on path)", tb.casesOnPath, tb.foundAlt, frac(tb.foundAlt, tb.casesOnPath))
+		tab.AddRow("large-scale simulation", sim.simCases, sim.simAlt, frac(sim.simAlt, sim.simCases))
+		tab.AddRow("isolated failures", iso.isoCases, iso.isoAlt, frac(iso.isoAlt, iso.isoCases))
+		r.addTable(tab)
+
+		r.Values["poisons"] = float64(tb.victims)
+		r.Values["frac_peers_found_alternate"] = frac(tb.foundAlt, tb.casesOnPath)
+		r.Values["frac_failures_stub_only_provider"] = frac(tb.stubOnlyProvider, tb.casesOnPath-tb.foundAlt)
+		r.Values["frac_sim_alternate"] = frac(sim.simAlt, sim.simCases)
+		r.Values["frac_isolated_alternate"] = frac(iso.isoAlt, iso.isoCases)
+		r.Values["sim_vs_testbed_agreement"] = tb.agree.Fraction()
+
+		r.notef("paper: 77%% of on-path collector peers found alternates; measured %.0f%%", frac(tb.foundAlt, tb.casesOnPath)*100)
+		r.notef("paper: two-thirds of no-alternate cases were a stub's only provider; measured %.0f%%",
+			frac(tb.stubOnlyProvider, tb.casesOnPath-tb.foundAlt)*100)
+		r.notef("paper: alternates in 90%% of 10M simulated cases; measured %.0f%% of %d", frac(sim.simAlt, sim.simCases)*100, sim.simCases)
+		r.notef("paper: alternates for 94%% of isolated failures; measured %.0f%%", frac(iso.isoAlt, iso.isoCases)*100)
+		r.notef("paper: simulation matched testbed outcomes in 92.5%% of cases; measured %.1f%%", tb.agree.Percent())
+		return r
+	},
+}
+
+// Efficacy regenerates the §5.1 effectiveness results (sequential
+// reference path over the three-trial scenario above).
+func Efficacy(seed int64) *Result { return efficacyScenario.Run(seed) }
 
 // isStubWithOnlyProvider reports whether peer is a stub whose sole provider
 // is a — the captive case the paper identifies as the dominant reason

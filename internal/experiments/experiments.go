@@ -67,28 +67,82 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Experiment couples an ID with its runner.
-type Experiment struct {
-	ID    string
-	Brief string
-	Run   func(seed int64) *Result
+// Trial is one independent unit of an experiment. Its Run closure builds
+// every piece of simulated state it needs — topology, engine, virtual
+// clock — from the scenario's seed, shares nothing mutable with any other
+// trial, and returns a partial result for the scenario's Reduce. Because a
+// trial is self-contained and single-threaded, the simclock
+// single-ownership invariant holds whether trials run sequentially or on
+// runner workers.
+type Trial struct {
+	// Name labels the trial for diagnostics ("testbed", "period=5m0s").
+	Name string
+	// Run performs the trial. It may panic on simulation bugs (the
+	// runner captures the stack); it must be deterministic.
+	Run func() any
 }
+
+// Scenario decomposes an experiment into independent per-seed trials plus
+// a deterministic reduction. The contract mirrors internal/runner's:
+// Reduce sees parts in trial order (parts[i] from Trials(seed)[i]), so
+// the reduced Result is byte-identical however the trials were scheduled.
+type Scenario struct {
+	// Trials returns the trial set for one seed, in reduction order. It
+	// must be cheap — all heavy work belongs inside Trial.Run.
+	Trials func(seed int64) []Trial
+	// Reduce merges the trial outputs into the rendered Result. It must
+	// be pure: no clock, no rand, no state beyond parts.
+	Reduce func(seed int64, parts []any) *Result
+}
+
+// Run executes the scenario sequentially on the calling goroutine — the
+// reference path every parallel execution is measured against.
+func (s Scenario) Run(seed int64) *Result {
+	trials := s.Trials(seed)
+	parts := make([]any, len(trials))
+	for i := range trials {
+		parts[i] = trials[i].Run()
+	}
+	return s.Reduce(seed, parts)
+}
+
+// single wraps a monolithic run function as a one-trial scenario: the
+// experiment's work is not subdividable without changing its random
+// streams, so the whole run is the unit of parallelism.
+func single(run func(seed int64) *Result) Scenario {
+	return Scenario{
+		Trials: func(seed int64) []Trial {
+			return []Trial{{Name: "all", Run: func() any { return run(seed) }}}
+		},
+		Reduce: func(_ int64, parts []any) *Result { return parts[0].(*Result) },
+	}
+}
+
+// Experiment couples an ID with its scenario.
+type Experiment struct {
+	ID       string
+	Brief    string
+	Scenario Scenario
+}
+
+// Run regenerates the artifact sequentially; see Scenario.Run.
+func (e Experiment) Run(seed int64) *Result { return e.Scenario.Run(seed) }
 
 // All lists every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig1", "outage duration CDF vs share of unavailability (§2.1)", Fig1},
-		{"fig5", "residual outage duration after X minutes (§4.2)", Fig5},
-		{"alt", "policy-compliant alternate paths during outages (§2.2)", AltPaths},
-		{"fwd", "forward-path provider diversity (§2.3)", ForwardDiversity},
-		{"efficacy", "poisoning efficacy: testbed + large-scale simulation (Table 1, §5.1)", Efficacy},
-		{"fig6", "per-peer and global convergence after poisoning (Fig. 6, §5.2)", Convergence},
-		{"loss", "packet loss during post-poisoning convergence (§5.2)", ConvergenceLoss},
-		{"selective", "selective poisoning of AS links (§5.2)", Selective},
-		{"accuracy", "failure isolation accuracy vs traceroute (Table 1, §5.3)", Accuracy},
-		{"scale", "atlas refresh and isolation overhead (§5.4)", Scalability},
-		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", Table2},
-		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", Baselines},
+		{"fig1", "outage duration CDF vs share of unavailability (§2.1)", single(Fig1)},
+		{"fig5", "residual outage duration after X minutes (§4.2)", single(Fig5)},
+		{"alt", "policy-compliant alternate paths during outages (§2.2)", single(AltPaths)},
+		{"fwd", "forward-path provider diversity (§2.3)", single(ForwardDiversity)},
+		{"efficacy", "poisoning efficacy: testbed + large-scale simulation (Table 1, §5.1)", efficacyScenario},
+		{"fig6", "per-peer and global convergence after poisoning (Fig. 6, §5.2)", convergenceScenario},
+		{"loss", "packet loss during post-poisoning convergence (§5.2)", lossScenario},
+		{"selective", "selective poisoning of AS links (§5.2)", single(Selective)},
+		{"accuracy", "failure isolation accuracy vs traceroute (Table 1, §5.3)", single(Accuracy)},
+		{"scale", "atlas refresh and isolation overhead (§5.4)", single(Scalability)},
+		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", single(Table2)},
+		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", single(Baselines)},
 	}
 }
 

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"context"
+
+	"lifeguard/internal/runner"
+)
+
+// RunParallel executes one experiment's trials on the runner pool and
+// reduces them in trial order. For any fixed seed the Result — and hence
+// the rendered report — is byte-identical to Run at every parallelism
+// level; only wall-clock time changes.
+func (e Experiment) RunParallel(ctx context.Context, seed int64, cfg runner.Config) (*Result, error) {
+	trials := e.Scenario.Trials(seed)
+	parts, err := runner.Map(ctx, len(trials), cfg, func(_ context.Context, i int) (any, error) {
+		return trials[i].Run(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Scenario.Reduce(seed, parts), nil
+}
+
+// span locates one (experiment, seed) reduction's parts inside the flat
+// trial pool.
+type span struct{ start, n int }
+
+// RunSuite runs several experiments across consecutive seeds as one flat
+// trial pool — the sharding axis lgexp and lgbench use. The returned
+// results are indexed [experiment][seed offset], reduced in deterministic
+// order regardless of how the pool interleaved the trials. A failing
+// trial (panic, timeout, error) aborts the suite with the runner's typed
+// error.
+func RunSuite(ctx context.Context, exps []Experiment, baseSeed int64, seeds int, cfg runner.Config) ([][]*Result, error) {
+	if seeds < 1 {
+		seeds = 1
+	}
+	var units []func() any
+	spans := make([][]span, len(exps))
+	for ei, e := range exps {
+		spans[ei] = make([]span, seeds)
+		for s := 0; s < seeds; s++ {
+			trials := e.Scenario.Trials(baseSeed + int64(s))
+			spans[ei][s] = span{start: len(units), n: len(trials)}
+			for i := range trials {
+				units = append(units, trials[i].Run)
+			}
+		}
+	}
+
+	parts, err := runner.Map(ctx, len(units), cfg, func(_ context.Context, i int) (any, error) {
+		return units[i](), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([][]*Result, len(exps))
+	for ei, e := range exps {
+		out[ei] = make([]*Result, seeds)
+		for s, sp := range spans[ei] {
+			out[ei][s] = e.Scenario.Reduce(baseSeed+int64(s), parts[sp.start:sp.start+sp.n])
+		}
+	}
+	return out, nil
+}
+
+// SuiteTrialCount reports how many independent trials RunSuite would
+// schedule — the suite's effective parallelism ceiling.
+func SuiteTrialCount(exps []Experiment, baseSeed int64, seeds int) int {
+	if seeds < 1 {
+		seeds = 1
+	}
+	n := 0
+	for _, e := range exps {
+		for s := 0; s < seeds; s++ {
+			n += len(e.Scenario.Trials(baseSeed + int64(s)))
+		}
+	}
+	return n
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"lifeguard/internal/runner"
+)
+
+// cheapIDs are multi-trial experiments fast enough to run repeatedly in
+// the equivalence tests (the heavyweight artifacts share the same
+// Scenario machinery, so they inherit the guarantee).
+var cheapIDs = []string{"fig1", "fig5", "tab2", "abl-threshold", "abl-dampening"}
+
+func cheapExperiments(t *testing.T) []Experiment {
+	t.Helper()
+	var exps []Experiment
+	for _, id := range cheapIDs {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q missing", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps
+}
+
+// TestRunParallelMatchesRun asserts the core determinism contract: for a
+// fixed seed, the rendered report is byte-identical at every parallelism
+// level — parallelism changes wall-clock only, never output.
+func TestRunParallelMatchesRun(t *testing.T) {
+	for _, e := range cheapExperiments(t) {
+		want := e.Run(3).String()
+		for _, par := range []int{1, 2, 8} {
+			got, err := e.RunParallel(context.Background(), 3, runner.Config{Parallelism: par})
+			if err != nil {
+				t.Fatalf("%s parallel=%d: %v", e.ID, par, err)
+			}
+			if got.String() != want {
+				t.Errorf("%s parallel=%d: output differs from sequential run", e.ID, par)
+			}
+		}
+	}
+}
+
+// TestRunSuiteMatchesSequential asserts the same contract for the flat
+// experiments×seeds pool lgexp runs: every (experiment, seed) cell must
+// match an isolated sequential Run.
+func TestRunSuiteMatchesSequential(t *testing.T) {
+	exps := cheapExperiments(t)
+	const baseSeed, seeds = 1, 2
+	results, err := RunSuite(context.Background(), exps, baseSeed, seeds, runner.Config{Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(exps) {
+		t.Fatalf("got %d experiment rows, want %d", len(results), len(exps))
+	}
+	for ei, e := range exps {
+		if len(results[ei]) != seeds {
+			t.Fatalf("%s: got %d seed cells, want %d", e.ID, len(results[ei]), seeds)
+		}
+		for s := 0; s < seeds; s++ {
+			want := e.Run(baseSeed + int64(s)).String()
+			if got := results[ei][s].String(); got != want {
+				t.Errorf("%s seed %d: suite output differs from sequential run", e.ID, baseSeed+int64(s))
+			}
+		}
+	}
+}
+
+func TestSuiteTrialCount(t *testing.T) {
+	exps := cheapExperiments(t)
+	// fig1=1, fig5=1, tab2=1, abl-threshold=6, abl-dampening=4 trials per
+	// seed.
+	if got := SuiteTrialCount(exps, 1, 2); got != 2*(1+1+1+6+4) {
+		t.Fatalf("SuiteTrialCount = %d, want %d", got, 2*(1+1+1+6+4))
+	}
+}
+
+// TestRunParallelPropagatesTrialPanic asserts a panicking trial surfaces
+// as a runner.TrialError instead of crashing or hanging the pool.
+func TestRunParallelPropagatesTrialPanic(t *testing.T) {
+	e := Experiment{
+		ID:    "boom",
+		Brief: "panics",
+		Scenario: Scenario{
+			Trials: func(seed int64) []Trial {
+				return []Trial{
+					{Name: "ok", Run: func() any { return 1 }},
+					{Name: "bad", Run: func() any { panic("synthetic trial failure") }},
+				}
+			},
+			Reduce: func(_ int64, parts []any) *Result { return newResult("boom", "unreachable") },
+		},
+	}
+	_, err := e.RunParallel(context.Background(), 1, runner.Config{Parallelism: 4})
+	if err == nil {
+		t.Fatal("expected error from panicking trial")
+	}
+	var te *runner.TrialError
+	if !errors.As(err, &te) {
+		t.Fatalf("error %v is not a *runner.TrialError", err)
+	}
+	if te.Trial != 1 || len(te.Stack) == 0 {
+		t.Fatalf("TrialError{Trial: %d, stack %d bytes}; want trial 1 with stack", te.Trial, len(te.Stack))
+	}
+}

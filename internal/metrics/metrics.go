@@ -30,6 +30,22 @@ func (s *Sample) AddDuration(d time.Duration) { s.Add(d.Seconds()) }
 // N reports the number of observations.
 func (s *Sample) N() int { return len(s.vals) }
 
+// Merge appends all of o's observations to s, leaving o unchanged. This is
+// the accumulator half of the parallel trial runner's contract: a sample
+// assembled by merging fresh per-trial samples in trial order holds its
+// observations in exactly the order a single sequential run would have
+// added them, so every statistic — including order-sensitive float sums
+// like Mean — is bit-identical to the concatenated-sample result. (If s or
+// o has already been sorted by a percentile query, the multiset is still
+// identical, so rank statistics remain exact.)
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.vals) == 0 {
+		return
+	}
+	s.vals = append(s.vals, o.vals...)
+	s.sorted = false
+}
+
 func (s *Sample) sort() {
 	if !s.sorted {
 		sort.Float64s(s.vals)
@@ -183,6 +199,13 @@ func (c *Counter) Observe(hit bool) {
 	}
 }
 
+// Merge folds o's tallies into c; observation order never mattered for a
+// counter, so merged and sequential accounting agree exactly.
+func (c *Counter) Merge(o Counter) {
+	c.Hits += o.Hits
+	c.Total += o.Total
+}
+
 // Fraction reports Hits/Total, or NaN when nothing was observed.
 func (c *Counter) Fraction() float64 {
 	if c.Total == 0 {
@@ -220,6 +243,29 @@ func (t *Table) AddRow(cells ...any) {
 		}
 	}
 	t.rows = append(t.rows, row)
+}
+
+// NumRows reports the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Merge appends o's rows, in order, after t's. Both tables must agree on
+// the header (the shape contract of a sharded experiment whose trials each
+// render a slice of one table); a mismatch is an error so a misassembled
+// reduction fails loudly instead of rendering misaligned columns.
+func (t *Table) Merge(o *Table) error {
+	if o == nil {
+		return nil
+	}
+	if len(t.Header) != len(o.Header) {
+		return fmt.Errorf("metrics: merging tables with different headers: %v vs %v", t.Header, o.Header)
+	}
+	for i := range t.Header {
+		if t.Header[i] != o.Header[i] {
+			return fmt.Errorf("metrics: merging tables with different headers: %v vs %v", t.Header, o.Header)
+		}
+	}
+	t.rows = append(t.rows, o.rows...)
+	return nil
 }
 
 // String renders the table.

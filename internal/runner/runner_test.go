@@ -1,0 +1,176 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, par := range []int{1, 2, 8, 0} {
+		got, err := Map(context.Background(), 50, Config{Parallelism: par},
+			func(_ context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("parallel=%d: result[%d] = %d, want %d", par, i, v, i*i)
+			}
+		}
+	}
+}
+
+// The core contract: a deterministic reduction over trial results is
+// byte-identical at every parallelism level.
+func TestReduceByteIdenticalAcrossParallelism(t *testing.T) {
+	run := func(par int) string {
+		out, err := Reduce(context.Background(), 37, Config{Parallelism: par}, "",
+			func(_ context.Context, i int) (string, error) {
+				return fmt.Sprintf("<%d:%d>", i, i*7%13), nil
+			},
+			func(acc string, _ int, v string) string { return acc + v })
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", par, err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, par := range []int{2, 4, 16} {
+		if got := run(par); got != want {
+			t.Fatalf("parallel=%d output diverged:\n%q\nvs sequential\n%q", par, got, want)
+		}
+	}
+}
+
+func TestPanicCapturedWithStack(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		_, err := Map(context.Background(), 8, Config{Parallelism: par},
+			func(_ context.Context, i int) (int, error) {
+				if i == 3 {
+					panic("boom at three")
+				}
+				return i, nil
+			})
+		var te *TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("parallel=%d: want *TrialError, got %v", par, err)
+		}
+		if te.Trial != 3 {
+			t.Fatalf("parallel=%d: blamed trial %d, want 3", par, te.Trial)
+		}
+		if !strings.Contains(te.Err.Error(), "boom at three") {
+			t.Fatalf("parallel=%d: panic value lost: %v", par, te.Err)
+		}
+		if len(te.Stack) == 0 || !strings.Contains(string(te.Stack), "runner_test.go") {
+			t.Fatalf("parallel=%d: no usable stack captured:\n%s", par, te.Stack)
+		}
+	}
+}
+
+func TestErrorPrefersLowestIndexedRealFailure(t *testing.T) {
+	// Trials 5 and 11 both fail. The reported failure must be one of
+	// them — never a "context canceled" echo from a trial that was
+	// abandoned because of the real failure.
+	for rep := 0; rep < 10; rep++ {
+		_, err := Map(context.Background(), 12, Config{Parallelism: 4},
+			func(_ context.Context, i int) (int, error) {
+				if i == 5 || i == 11 {
+					return 0, fmt.Errorf("fail %d", i)
+				}
+				return i, nil
+			})
+		var te *TrialError
+		if !errors.As(err, &te) {
+			t.Fatalf("want *TrialError, got %v", err)
+		}
+		if te.Trial != 5 && te.Trial != 11 {
+			t.Fatalf("blamed trial %d, want 5 or 11", te.Trial)
+		}
+		if errors.Is(err, context.Canceled) {
+			t.Fatalf("surfaced a cancellation echo instead of the failure: %v", err)
+		}
+	}
+}
+
+func TestErrorCancelsRemainingTrials(t *testing.T) {
+	var started atomic.Int64
+	_, err := Map(context.Background(), 1000, Config{Parallelism: 2},
+		func(_ context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, errors.New("fail fast")
+			}
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := started.Load(); n >= 1000 {
+		t.Fatalf("cancellation did not stop dispatch: %d trials started", n)
+	}
+}
+
+func TestParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(ctx, 10, Config{Parallelism: 4},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTrialTimeout(t *testing.T) {
+	hang := make(chan struct{})
+	defer close(hang)
+	_, err := Map(context.Background(), 4, Config{Parallelism: 2, Timeout: 20 * time.Millisecond},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 2 {
+				select { // a stuck simulation that at least observes ctx
+				case <-hang:
+				case <-ctx.Done():
+				}
+			}
+			return i, nil
+		})
+	var te *TrialError
+	if !errors.As(err, &te) || !errors.Is(err, ErrTimeout) {
+		t.Fatalf("want TrialError wrapping ErrTimeout, got %v", err)
+	}
+	if te.Trial != 2 {
+		t.Fatalf("blamed trial %d, want 2", te.Trial)
+	}
+}
+
+func TestTimeoutGenerousEnoughPasses(t *testing.T) {
+	got, err := Map(context.Background(), 8, Config{Parallelism: 4, Timeout: 10 * time.Second},
+		func(_ context.Context, i int) (int, error) { return i + 1, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[7] != 8 {
+		t.Fatalf("results corrupted under timeout mode: %v", got)
+	}
+}
+
+func TestZeroTrials(t *testing.T) {
+	got, err := Map(context.Background(), 0, Config{},
+		func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestWorkersClamped(t *testing.T) {
+	if w := (Config{Parallelism: 100}).workers(3); w != 3 {
+		t.Fatalf("workers = %d, want 3", w)
+	}
+	if w := (Config{Parallelism: -1}).workers(1000); w < 1 {
+		t.Fatalf("workers = %d, want >= 1", w)
+	}
+}

@@ -1,0 +1,52 @@
+//go:build simclockdebug
+
+package simclock
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"strconv"
+)
+
+// ownerGuard pins a Scheduler to the first goroutine that touches it.
+//
+// The simulator's determinism rests on single-threaded event replay: a
+// scheduler shared between two goroutines — say, two trial-runner workers
+// accidentally handed the same net — interleaves event execution by host
+// scheduling and silently destroys reproducibility. Under the
+// simclockdebug build tag every mutating scheduler entry point asserts
+// the calling goroutine is the owner, so that bug class dies with a stack
+// trace at the first cross-goroutine call.
+type ownerGuard struct {
+	gid uint64 // claimed lazily by the first caller; 0 = unclaimed
+}
+
+func (g *ownerGuard) check() {
+	id := curGoroutineID()
+	if g.gid == 0 {
+		g.gid = id
+		return
+	}
+	if g.gid != id {
+		panic(fmt.Sprintf(
+			"simclock: scheduler owned by goroutine %d used from goroutine %d; "+
+				"a scheduler must stay on the goroutine that first used it "+
+				"(each runner trial builds its own net — see internal/runner)",
+			g.gid, id))
+	}
+}
+
+// curGoroutineID parses the running goroutine's id from its stack header
+// ("goroutine N [running]:"). Debug-tag-only code: clarity over speed.
+func curGoroutineID() uint64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	s := bytes.TrimPrefix(buf[:n], []byte("goroutine "))
+	if i := bytes.IndexByte(s, ' '); i > 0 {
+		if id, err := strconv.ParseUint(string(s[:i]), 10, 64); err == nil {
+			return id
+		}
+	}
+	panic("simclock: cannot parse goroutine id from stack header")
+}

@@ -1,0 +1,53 @@
+//go:build simclockdebug
+
+package simclock
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOwnerGuardSameGoroutineOK(t *testing.T) {
+	s := New()
+	s.After(time.Second, func() {})
+	s.Run()
+	if s.Now() != time.Second {
+		t.Fatalf("now = %v", s.Now())
+	}
+}
+
+func TestOwnerGuardCrossGoroutinePanics(t *testing.T) {
+	s := New()
+	s.After(time.Second, func() {}) // claims ownership on this goroutine
+
+	got := make(chan any, 1)
+	go func() {
+		defer func() { got <- recover() }()
+		s.Step()
+	}()
+	r := <-got
+	if r == nil {
+		t.Fatal("cross-goroutine Step did not panic under simclockdebug")
+	}
+	msg, ok := r.(string)
+	if !ok || !strings.Contains(msg, "goroutine") {
+		t.Fatalf("unexpected panic payload: %v", r)
+	}
+}
+
+func TestOwnerGuardClaimedByFirstUser(t *testing.T) {
+	// A scheduler built on one goroutine but used only on another is
+	// fine: ownership belongs to the first *user*, matching the runner
+	// pattern where a trial closure builds its net inside a worker.
+	s := New()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		s.After(time.Minute, func() {})
+		s.Run()
+	}()
+	if r := <-done; r != nil {
+		t.Fatalf("first-user claim panicked: %v", r)
+	}
+}

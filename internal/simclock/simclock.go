@@ -57,13 +57,18 @@ func (h *eventHeap) Pop() any {
 
 // Scheduler is a discrete-event scheduler. The zero value is ready to use.
 // It is not safe for concurrent use; simulations are single-threaded by
-// design so that runs are reproducible.
+// design so that runs are reproducible. Builds tagged simclockdebug
+// additionally pin each scheduler to the first goroutine that uses it and
+// panic on cross-goroutine use (see owner_debug.go) — accidental scheduler
+// sharing between parallel trial workers fails immediately instead of
+// corrupting results silently.
 type Scheduler struct {
 	now     time.Duration
 	heap    eventHeap
 	nextSeq uint64
 	nextID  EventID
 	live    map[EventID]*event
+	owner   ownerGuard
 }
 
 // New returns a scheduler whose clock starts at zero virtual time.
@@ -81,6 +86,7 @@ func (s *Scheduler) Len() int { return len(s.heap) }
 // panics: it always indicates a simulation bug, and silently reordering
 // events would destroy reproducibility.
 func (s *Scheduler) At(t time.Duration, fn func()) EventID {
+	s.owner.check()
 	if fn == nil {
 		panic("simclock: nil event callback")
 	}
@@ -109,6 +115,7 @@ func (s *Scheduler) After(d time.Duration, fn func()) EventID {
 // Cancel removes a pending event. It reports whether the event was still
 // pending (false if already fired or previously cancelled).
 func (s *Scheduler) Cancel(id EventID) bool {
+	s.owner.check()
 	ev, ok := s.live[id]
 	if !ok {
 		return false
@@ -121,6 +128,7 @@ func (s *Scheduler) Cancel(id EventID) bool {
 // Step runs the earliest pending event, advancing the clock to its time.
 // It reports whether an event was run.
 func (s *Scheduler) Step() bool {
+	s.owner.check()
 	if len(s.heap) == 0 {
 		return false
 	}
@@ -140,6 +148,7 @@ func (s *Scheduler) Run() {
 // RunUntil executes all events scheduled at or before t, then advances the
 // clock to exactly t (even if no event was pending at t).
 func (s *Scheduler) RunUntil(t time.Duration) {
+	s.owner.check()
 	for len(s.heap) > 0 && s.heap[0].at <= t {
 		s.Step()
 	}
