@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint race debug-test exp-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
+.PHONY: all build test lint race debug-test exp-smoke obs-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
 
 all: build test lint
 
@@ -53,18 +53,35 @@ exp-smoke:
 	diff $(BIN)/exp_seq.txt $(BIN)/exp_par.txt
 	@echo "exp-smoke: sequential and parallel reports are byte-identical"
 
+# obs-smoke proves the observability subsystem is determinism-neutral end
+# to end: the lgexp report is byte-identical with instrumentation off and
+# on (-obs), and the merged metrics snapshot is byte-identical across
+# parallelism levels (per-trial registries merge in trial-index order).
+obs-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lgexp ./cmd/lgexp
+	$(BIN)/lgexp -exp abl-dampening,abl-precheck -parallel 1 >$(BIN)/obs_off.txt
+	$(BIN)/lgexp -exp abl-dampening,abl-precheck -parallel 1 -obs $(BIN)/obs_seq.json >$(BIN)/obs_seq.txt
+	$(BIN)/lgexp -exp abl-dampening,abl-precheck -parallel 4 -obs $(BIN)/obs_par.json >$(BIN)/obs_par.txt
+	diff $(BIN)/obs_off.txt $(BIN)/obs_seq.txt
+	diff $(BIN)/obs_seq.txt $(BIN)/obs_par.txt
+	diff $(BIN)/obs_seq.json $(BIN)/obs_par.json
+	@grep -q lifeguard_bgp_updates_sent_total $(BIN)/obs_seq.json
+	@echo "obs-smoke: report unchanged by -obs; snapshot byte-identical across parallelism"
+
 # A quick fuzz pass over the BGP-4 wire codec; CI runs this on every push.
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/bgp/wire/
 
 # bench is the perf-regression harness: it runs the engine-convergence and
 # dataplane-forwarding benchmarks plus the experiment-suite wall-clock
-# timing (sequential vs parallel RunSuite) and refreshes BENCH_pr3.json
-# (ns/op, allocs/op, packets/sec, suite speedup, plus deltas against the
-# recorded baseline). bench-smoke is the 1-iteration variant CI runs;
+# timing (sequential vs parallel RunSuite, and instrumented vs
+# uninstrumented obs overhead) and refreshes BENCH_pr4.json (ns/op,
+# allocs/op, packets/sec, suite speedup, obs overhead, plus deltas against
+# the recorded baseline). bench-smoke is the 1-iteration variant CI runs;
 # bench-all is a 1x pass over every benchmark in the repo.
 bench:
-	$(GO) run ./cmd/lgbench -benchtime 2s -out BENCH_pr3.json
+	$(GO) run ./cmd/lgbench -benchtime 2s -out BENCH_pr4.json
 
 bench-smoke:
 	@mkdir -p $(BIN)

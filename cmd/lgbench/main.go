@@ -15,7 +15,12 @@
 // parallelism — and records the wall-clock speedup (the "suite" section).
 // Disable with -suite=false for the fastest smoke run.
 //
-//	go run ./cmd/lgbench -benchtime 2s -out BENCH_pr3.json   # make bench
+// It also times the sequential suite twice — uninstrumented (obs.Disabled)
+// and with a live per-trial metrics registry — and records the overhead
+// ratio (the "obs_overhead" section); instrumentation is contractually
+// cheap, and this keeps it honest.
+//
+//	go run ./cmd/lgbench -benchtime 2s -out BENCH_pr4.json   # make bench
 //	go run ./cmd/lgbench -benchtime 1x -out /tmp/smoke.json  # CI smoke
 package main
 
@@ -32,6 +37,7 @@ import (
 	"time"
 
 	"lifeguard/internal/experiments"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/runner"
 )
 
@@ -73,6 +79,21 @@ type SuiteTiming struct {
 	Speedup      float64  `json:"speedup"`
 }
 
+// ObsOverhead records what metrics instrumentation costs: the sequential
+// suite timed once uninstrumented (obs.Disabled — every metric site is one
+// nil-check branch) and once with a live per-trial registry merged into a
+// process-wide one. Overhead is instrumented over uninstrumented
+// wall-clock; 1.0 means free.
+type ObsOverhead struct {
+	Experiments      []string `json:"experiments"`
+	Seeds            int      `json:"seeds"`
+	UninstrumentedMS float64  `json:"uninstrumented_ms"`
+	InstrumentedMS   float64  `json:"instrumented_ms"`
+	Overhead         float64  `json:"overhead"`
+	// Series counts the distinct metric series the instrumented run produced.
+	Series int `json:"series"`
+}
+
 // Report is the file schema.
 type Report struct {
 	Schema    string             `json:"schema"`
@@ -83,11 +104,12 @@ type Report struct {
 	Current   map[string]Metrics `json:"current"`
 	Delta     map[string]Delta   `json:"delta,omitempty"`
 	Suite     *SuiteTiming       `json:"suite,omitempty"`
+	Obs       *ObsOverhead       `json:"obs_overhead,omitempty"`
 }
 
 func main() {
 	benchtime := flag.String("benchtime", "2s", "go test -benchtime value (e.g. 2s or 1x for a smoke run)")
-	out := flag.String("out", "BENCH_pr3.json", "output JSON file; an existing file's baseline section is preserved")
+	out := flag.String("out", "BENCH_pr4.json", "output JSON file; an existing file's baseline section is preserved")
 	suite := flag.Bool("suite", true, "also time the experiment suite sequentially vs in parallel")
 	seeds := flag.Int("seeds", 2, "seeds per experiment for the suite timing")
 	flag.Parse()
@@ -122,6 +144,12 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Suite = st
+		oo, err := measureObsOverhead(*seeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lgbench:", err)
+			os.Exit(1)
+		}
+		rep.Obs = oo
 	}
 
 	buf, err := json.MarshalIndent(&rep, "", "  ")
@@ -146,20 +174,16 @@ var suiteIDs = []string{"efficacy", "fig6", "loss", "abl-threshold", "abl-dampen
 // runner's contract, asserted by the committed tests); only the wall
 // clock differs, and only when the host has cores to spare.
 func measureSuite(seeds int) (*SuiteTiming, error) {
-	var exps []experiments.Experiment
-	for _, id := range suiteIDs {
-		e, ok := experiments.ByID(id)
-		if !ok {
-			return nil, fmt.Errorf("suite timing: unknown experiment %q", id)
-		}
-		exps = append(exps, e)
+	exps, err := suiteExperiments()
+	if err != nil {
+		return nil, err
 	}
 	const baseSeed = 1
 	ctx := context.Background()
 
 	timeRun := func(parallelism int) (time.Duration, error) {
 		start := time.Now()
-		_, err := experiments.RunSuite(ctx, exps, baseSeed, seeds, runner.Config{Parallelism: parallelism})
+		_, err := experiments.RunSuite(ctx, exps, baseSeed, seeds, runner.Config{Parallelism: parallelism}, nil)
 		return time.Since(start), err
 	}
 
@@ -188,6 +212,60 @@ func measureSuite(seeds int) (*SuiteTiming, error) {
 	fmt.Printf("lgbench: suite %d trials: sequential %v, parallel %v on %d workers (%.2fx)\n",
 		st.Trials, seq.Round(time.Millisecond), par.Round(time.Millisecond), st.Workers, st.Speedup)
 	return st, nil
+}
+
+// suiteExperiments resolves suiteIDs against the registry.
+func suiteExperiments() ([]experiments.Experiment, error) {
+	var exps []experiments.Experiment
+	for _, id := range suiteIDs {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("suite timing: unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	return exps, nil
+}
+
+// measureObsOverhead times the sequential suite with instrumentation off
+// (the nil registry) and on (a live registry fed by per-trial registries).
+// Sequential runs keep the comparison free of scheduling noise.
+func measureObsOverhead(seeds int) (*ObsOverhead, error) {
+	exps, err := suiteExperiments()
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+
+	timeRun := func(reg *obs.Registry) (time.Duration, error) {
+		start := time.Now()
+		_, err := experiments.RunSuite(ctx, exps, 1, seeds, runner.Config{Parallelism: 1}, reg)
+		return time.Since(start), err
+	}
+
+	off, err := timeRun(obs.Disabled)
+	if err != nil {
+		return nil, fmt.Errorf("obs overhead (uninstrumented): %w", err)
+	}
+	reg := obs.New()
+	on, err := timeRun(reg)
+	if err != nil {
+		return nil, fmt.Errorf("obs overhead (instrumented): %w", err)
+	}
+
+	oo := &ObsOverhead{
+		Experiments:      suiteIDs,
+		Seeds:            seeds,
+		UninstrumentedMS: float64(off.Milliseconds()),
+		InstrumentedMS:   float64(on.Milliseconds()),
+		Series:           len(reg.Snapshot().Metrics),
+	}
+	if off > 0 {
+		oo.Overhead = float64(on) / float64(off)
+	}
+	fmt.Printf("lgbench: obs overhead: uninstrumented %v, instrumented %v (%.3fx, %d series)\n",
+		off.Round(time.Millisecond), on.Round(time.Millisecond), oo.Overhead, oo.Series)
+	return oo, nil
 }
 
 // runBenchmarks shells out to go test and parses the -benchmem result lines.

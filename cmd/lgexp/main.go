@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lifeguard/internal/experiments"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/runner"
 )
 
@@ -36,6 +37,7 @@ type options struct {
 	seeds     int
 	parallel  int           // runner workers; <=0 means GOMAXPROCS
 	timeout   time.Duration // per-trial wall-clock watchdog; 0 disables
+	obsPath   string        // write merged metrics snapshot JSON here; "" disables obs
 }
 
 func main() {
@@ -47,6 +49,7 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "average headline values over this many consecutive seeds")
 		parallel  = flag.Int("parallel", 0, "trial workers (0 = GOMAXPROCS, 1 = sequential)")
 		timeout   = flag.Duration("timeout", 0, "per-trial wall-clock timeout (0 = none)")
+		obsPath   = flag.String("obs", "", "write the merged metrics snapshot (JSON) to this file; empty disables instrumentation")
 	)
 	flag.Parse()
 
@@ -66,6 +69,7 @@ func main() {
 		seeds:     *seeds,
 		parallel:  *parallel,
 		timeout:   *timeout,
+		obsPath:   *obsPath,
 	}
 	if *exp != "" {
 		for _, id := range strings.Split(*exp, ",") {
@@ -136,7 +140,15 @@ func writeReports(ctx context.Context, out, errw io.Writer, opts options) error 
 	fmt.Fprintf(errw, "lgexp: %d experiments x %d seeds = %d trials on %d workers\n",
 		len(todo), opts.seeds, experiments.SuiteTrialCount(todo, opts.seed, opts.seeds), cfg.Workers())
 
-	results, err := experiments.RunSuite(ctx, todo, opts.seed, opts.seeds, cfg)
+	// Metrics go to a side file, never stdout: the report stream stays
+	// byte-identical whether or not instrumentation is on (-obs set), and
+	// across every -parallel level.
+	var reg *obs.Registry
+	if opts.obsPath != "" {
+		reg = obs.New()
+	}
+
+	results, err := experiments.RunSuite(ctx, todo, opts.seed, opts.seeds, cfg, reg)
 	if err != nil {
 		return err
 	}
@@ -154,7 +166,29 @@ func writeReports(ctx context.Context, out, errw io.Writer, opts options) error 
 		fmt.Fprint(out, agg.String())
 	}
 
+	if opts.obsPath != "" {
+		if err := writeSnapshot(opts.obsPath, reg); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "lgexp: wrote metrics snapshot to %s\n", opts.obsPath)
+	}
+
 	//lint:ignore lglint/simclockcheck wall-clock progress report for the operator; no result depends on it
 	fmt.Fprintf(errw, "lgexp: suite completed in %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// writeSnapshot dumps the merged registry as JSON. Per-trial registries are
+// merged in trial-index order, so for a fixed configuration the file is
+// byte-identical at every -parallel level.
+func writeSnapshot(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics snapshot: %w", err)
+	}
+	return f.Close()
 }

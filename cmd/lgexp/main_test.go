@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 )
@@ -55,6 +57,86 @@ func TestSingleSeedReportMatchesDirectRun(t *testing.T) {
 	}
 	if !bytes.Equal(a.Bytes(), b.Bytes()) {
 		t.Error("seeds=1 output differs across parallelism")
+	}
+}
+
+// TestReportsByteIdenticalWithObsOnOff is the observability-neutrality
+// contract: turning instrumentation on (-obs) must not change a single
+// byte of the report stream. Metrics are a pure function of the
+// simulation, never an input to it.
+func TestReportsByteIdenticalWithObsOnOff(t *testing.T) {
+	// abl-dampening and abl-precheck build real internetworks, so the
+	// instrumented runs actually exercise the bgp/dataplane/probe counters
+	// rather than trivially comparing two uninstrumented paths.
+	base := options{
+		ids:      []string{"abl-dampening", "abl-precheck"},
+		seed:     1,
+		seeds:    1,
+		parallel: 4,
+	}
+
+	render := func(obsPath string) []byte {
+		t.Helper()
+		var out, chatter bytes.Buffer
+		opts := base
+		opts.obsPath = obsPath
+		if err := writeReports(context.Background(), &out, &chatter, opts); err != nil {
+			t.Fatalf("obs=%q: %v", obsPath, err)
+		}
+		return out.Bytes()
+	}
+
+	plain := render("")
+	if len(plain) == 0 {
+		t.Fatal("uninstrumented run produced no output")
+	}
+	snap := filepath.Join(t.TempDir(), "metrics.json")
+	if got := render(snap); !bytes.Equal(got, plain) {
+		t.Errorf("stdout differs with -obs enabled:\n--- instrumented ---\n%s\n--- plain ---\n%s", got, plain)
+	}
+	buf, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("snapshot not written: %v", err)
+	}
+	if !bytes.Contains(buf, []byte("lifeguard_bgp_updates_sent_total")) {
+		t.Errorf("snapshot is missing bgp counters:\n%s", buf)
+	}
+}
+
+// TestObsSnapshotByteIdenticalAcrossParallelism pins the merge discipline:
+// per-trial registries fold into the destination in trial-index order, so
+// the snapshot file must not depend on -parallel either.
+func TestObsSnapshotByteIdenticalAcrossParallelism(t *testing.T) {
+	dir := t.TempDir()
+	snapshot := func(parallel int) []byte {
+		t.Helper()
+		var out, chatter bytes.Buffer
+		path := filepath.Join(dir, "metrics.json")
+		opts := options{
+			ids:      []string{"abl-dampening"},
+			seed:     1,
+			seeds:    2,
+			parallel: parallel,
+			obsPath:  path,
+		}
+		if err := writeReports(context.Background(), &out, &chatter, opts); err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("parallel=%d: %v", parallel, err)
+		}
+		return buf
+	}
+
+	want := snapshot(1)
+	if !bytes.Contains(want, []byte("lifeguard_bgp_dampening_suppressions_total")) {
+		t.Fatalf("sequential snapshot is missing the dampening counters:\n%s", want)
+	}
+	for _, par := range []int{2, 8} {
+		if got := snapshot(par); !bytes.Equal(got, want) {
+			t.Errorf("metrics snapshot differs between -parallel 1 and -parallel %d", par)
+		}
 	}
 }
 

@@ -27,7 +27,30 @@ import (
 
 	"lifeguard/internal/bgp/session"
 	"lifeguard/internal/bgp/wire"
+	"lifeguard/internal/obs"
+	"lifeguard/internal/obs/obshttp"
 )
+
+// peerObs counts wire-level activity for the -http metrics endpoint.
+type peerObs struct {
+	sessions            *obs.Counter
+	updatesReceived     *obs.Counter
+	withdrawalsReceived *obs.Counter
+	updatesSent         *obs.Counter
+}
+
+func instrument(reg *obs.Registry) peerObs {
+	reg.Describe("lifeguard_lgpeer_sessions_total", "BGP sessions established")
+	reg.Describe("lifeguard_lgpeer_updates_received_total", "NLRI received from peers")
+	reg.Describe("lifeguard_lgpeer_withdrawals_received_total", "withdrawals received from peers")
+	reg.Describe("lifeguard_lgpeer_updates_sent_total", "UPDATE messages sent to peers")
+	return peerObs{
+		sessions:            reg.Counter("lifeguard_lgpeer_sessions_total"),
+		updatesReceived:     reg.Counter("lifeguard_lgpeer_updates_received_total"),
+		withdrawalsReceived: reg.Counter("lifeguard_lgpeer_withdrawals_received_total"),
+		updatesSent:         reg.Counter("lifeguard_lgpeer_updates_sent_total"),
+	}
+}
 
 func main() {
 	var (
@@ -41,6 +64,7 @@ func main() {
 		path     = flag.String("path", "", "comma-separated AS path for -announce")
 		nexthop  = flag.String("nexthop", "198.51.100.1", "NEXT_HOP for -announce")
 		linger   = flag.Duration("linger", 10*time.Second, "keep the session up this long")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 	if (*listen == "") == (*connect == "") {
@@ -48,18 +72,29 @@ func main() {
 		os.Exit(2)
 	}
 	if err := run(*listen, *connect, uint16(*localAS), *routerID, *hold,
-		*announce, *withdraw, *path, *nexthop, *linger); err != nil {
+		*announce, *withdraw, *path, *nexthop, *linger, *httpAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "lgpeer:", err)
 		os.Exit(1)
 	}
 }
 
 func run(listen, connect string, localAS uint16, routerID string, hold time.Duration,
-	announce, withdraw, path, nexthop string, linger time.Duration) error {
+	announce, withdraw, path, nexthop string, linger time.Duration, httpAddr string) error {
 
 	id, err := netip.ParseAddr(routerID)
 	if err != nil {
 		return fmt.Errorf("bad -id: %w", err)
+	}
+
+	reg := obs.New()
+	po := instrument(reg)
+	if httpAddr != "" {
+		go func() {
+			if err := obshttp.Serve(httpAddr, obshttp.NewMux(reg, nil)); err != nil {
+				fmt.Fprintln(os.Stderr, "lgpeer: http server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "lgpeer: serving metrics on %s\n", httpAddr)
 	}
 
 	if listen != "" {
@@ -73,13 +108,16 @@ func run(listen, connect string, localAS uint16, routerID string, hold time.Dura
 		fmt.Printf("collecting on %s as AS%d for %v\n", ln.Addr(), localAS, linger)
 		sv := session.NewServer(session.Config{LocalAS: localAS, RouterID: id, HoldTime: hold})
 		sv.OnSession = func(s *session.Session) {
+			po.sessions.Inc()
 			fmt.Printf("session established with AS%d\n", s.Peer().AS)
 		}
 		sv.OnUpdate = func(peerAS uint16, u wire.Update) {
 			for _, p := range u.Withdrawn {
+				po.withdrawalsReceived.Inc()
 				fmt.Printf("<- AS%d WITHDRAW %v\n", peerAS, p)
 			}
 			for _, p := range u.NLRI {
+				po.updatesReceived.Inc()
 				fmt.Printf("<- AS%d UPDATE %v AS_PATH %v NEXT_HOP %v\n",
 					peerAS, p, u.ASPath, u.NextHop)
 			}
@@ -99,9 +137,11 @@ func run(listen, connect string, localAS uint16, routerID string, hold time.Dura
 	s := session.New(conn, session.Config{LocalAS: localAS, RouterID: id, HoldTime: hold})
 	s.OnUpdate = func(u wire.Update) {
 		for _, p := range u.Withdrawn {
+			po.withdrawalsReceived.Inc()
 			fmt.Printf("<- WITHDRAW %v\n", p)
 		}
 		for _, p := range u.NLRI {
+			po.updatesReceived.Inc()
 			fmt.Printf("<- UPDATE %v AS_PATH %v NEXT_HOP %v communities %v\n",
 				p, u.ASPath, u.NextHop, u.Communities)
 		}
@@ -110,6 +150,7 @@ func run(listen, connect string, localAS uint16, routerID string, hold time.Dura
 		return err
 	}
 	defer s.Close()
+	po.sessions.Inc()
 	fmt.Printf("established with AS%d (hold %v)\n", s.Peer().AS, s.HoldTime())
 
 	if announce != "" {
@@ -129,6 +170,7 @@ func run(listen, connect string, localAS uint16, routerID string, hold time.Dura
 		if err := s.Announce(u); err != nil {
 			return err
 		}
+		po.updatesSent.Inc()
 		fmt.Printf("-> UPDATE %v AS_PATH %v\n", prefix, asPath)
 	}
 	if withdraw != "" {
@@ -139,6 +181,7 @@ func run(listen, connect string, localAS uint16, routerID string, hold time.Dura
 		if err := s.Announce(wire.Update{Withdrawn: []netip.Prefix{prefix}}); err != nil {
 			return err
 		}
+		po.updatesSent.Inc()
 		fmt.Printf("-> WITHDRAW %v\n", prefix)
 	}
 

@@ -5,16 +5,27 @@
 // repairs them with BGP poisoning, unpoisoning when the sentinel sees each
 // failure heal. The event log it prints is the §6 case study generalized.
 //
+// The daemon is fully instrumented: every subsystem reports into a metrics
+// registry, and -http serves it live (/metrics in Prometheus text format,
+// /healthz, /debug/vars, /debug/pprof). The final registry snapshot is
+// printed to stdout as JSON when the run ends — whether it completes or is
+// interrupted by SIGINT/SIGTERM, which shuts the daemon down cleanly.
+//
 //	lifeguardd -seed 1 -hours 6 -failures 4
+//	lifeguardd -hours 48 -http :8080 &   # scrape localhost:8080/metrics
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"lifeguard"
+	"lifeguard/internal/obs"
+	"lifeguard/internal/obs/obshttp"
 	"lifeguard/internal/splice"
 	"lifeguard/internal/topo"
 )
@@ -26,18 +37,36 @@ func main() {
 		failures = flag.Int("failures", 4, "number of silent failures to script")
 		transits = flag.Int("transits", 15, "transit ASes in the synthetic Internet")
 		stubs    = flag.Int("stubs", 40, "stub ASes in the synthetic Internet")
+		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty disables)")
+		journal  = flag.Int("journal", 256, "event-journal capacity for /debug/vars (0 disables)")
 	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: lifeguardd [flags]\n\nflags:\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), `
+exit codes:
+  0  run completed, or was shut down cleanly by SIGINT/SIGTERM; the final
+     metrics snapshot (JSON) is the last thing printed to stdout
+  1  runtime error (generation, simulation, or HTTP server failure)
+  2  bad usage (unknown flag)
+`)
+	}
 	flag.Parse()
-	if err := run(*seed, *hours, *failures, *transits, *stubs); err != nil {
+	if err := run(*seed, *hours, *failures, *transits, *stubs, *httpAddr, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "lifeguardd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, hours float64, failures, transits, stubs int) error {
+func run(seed int64, hours float64, failures, transits, stubs int, httpAddr string, journalCap int) error {
+	reg := obs.New()
+	var j *obs.Journal
+	if journalCap > 0 {
+		j = obs.NewJournal(journalCap)
+	}
 	n, err := lifeguard.GenerateInternet(lifeguard.InternetConfig{
 		Seed: seed, NumTransit: transits, NumStub: stubs,
-	})
+	}, lifeguard.NetworkOptions{Obs: reg, Journal: j})
 	if err != nil {
 		return err
 	}
@@ -47,6 +76,28 @@ func run(seed int64, hours float64, failures, transits, stubs int) error {
 		n.Top.NumRouters())
 	fmt.Printf("origin AS%d announces production %v and sentinel %v\n\n",
 		origin, lifeguard.ProductionPrefix(origin), lifeguard.SentinelPrefix(origin))
+
+	if httpAddr != "" {
+		mux := obshttp.NewMux(reg, j)
+		errc := make(chan error, 1)
+		go func() { errc <- obshttp.Serve(httpAddr, mux) }()
+		// Give a bad address a moment to fail loudly instead of silently
+		// serving nothing for the whole run.
+		select {
+		case err := <-errc:
+			return fmt.Errorf("http server: %w", err)
+		//lint:ignore lglint/simclockcheck real-time startup grace for the HTTP listener; no simulation result depends on it
+		case <-time.After(100 * time.Millisecond):
+		}
+		fmt.Fprintf(os.Stderr, "lifeguardd: serving metrics on %s\n", httpAddr)
+	}
+
+	// SIGINT/SIGTERM end the run early but cleanly: the current simulated
+	// minute finishes, the summary and final metrics snapshot print, and
+	// the exit code is 0.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 
 	// Monitor a handful of distant stubs, helped by two extra VPs.
 	var targets []lifeguard.Addr
@@ -113,7 +164,16 @@ func run(seed int64, hours float64, failures, transits, stubs int) error {
 
 	end := time.Duration(hours * float64(time.Hour))
 	logged := 0
+	interrupted := false
+loop:
 	for n.Clk.Now() < end {
+		select {
+		case sig := <-sigc:
+			fmt.Fprintf(os.Stderr, "lifeguardd: %v — shutting down after %s virtual\n", sig, fmtD(n.Clk.Now()))
+			interrupted = true
+			break loop
+		default:
+		}
 		n.Clk.RunFor(time.Minute)
 		for _, e := range sys.History[logged:] {
 			printEvent(n, e)
@@ -122,13 +182,17 @@ func run(seed int64, hours float64, failures, transits, stubs int) error {
 	}
 	sys.Stop()
 
-	fmt.Printf("\nsummary: %d outages, %d repairs, %d unpoisons, %d recoveries over %.1f virtual hours\n",
+	fmt.Printf("\nsummary: %d outages, %d repairs, %d unpoisons, %d recoveries over %.1f virtual hours",
 		len(sys.EventsOfKind(lifeguard.EventOutage)),
 		len(sys.EventsOfKind(lifeguard.EventRepair)),
 		len(sys.EventsOfKind(lifeguard.EventUnpoison)),
 		len(sys.EventsOfKind(lifeguard.EventRecovered)),
-		hours)
-	return nil
+		n.Clk.Now().Hours())
+	if interrupted {
+		fmt.Printf(" (interrupted)")
+	}
+	fmt.Printf("\n\nfinal metrics snapshot:\n")
+	return reg.Snapshot().WriteJSON(os.Stdout)
 }
 
 func printEvent(n *lifeguard.Network, e lifeguard.Event) {

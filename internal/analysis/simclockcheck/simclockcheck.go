@@ -56,6 +56,11 @@ var Allowlist = []string{
 	// lgbench measures real wall-clock time by definition — its output is
 	// the machine's speed, not a simulation result.
 	"lifeguard/cmd/lgbench",
+	// The HTTP exporter serves live operators: /healthz uptime and request
+	// timestamps are wall-clock readings about the host process. The obs
+	// core (registry, journal, encoders) is NOT allowlisted — it records
+	// sim-time only, enforced by internal/obs's TestNoWallClockInCore.
+	"lifeguard/internal/obs/obshttp",
 }
 
 var Analyzer = &analysis.Analyzer{

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"time"
 
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 )
 
@@ -219,6 +220,11 @@ type Config struct {
 	Seed int64
 	// Dampening enables RFC 2439 route-flap dampening at every speaker.
 	Dampening DampeningConfig
+	// Obs receives the engine's metrics (update counts, decision runs,
+	// MRAI deferrals, dampening activity, loc-RIB and LPM sizes). nil
+	// disables instrumentation at the cost of one branch per site;
+	// enabled or not, protocol behaviour is identical.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -90,8 +90,10 @@ func (s *Speaker) noteFlap(k dampKey) {
 		st.penalty = cfg.MaxPenalty
 	}
 	st.updatedAt = now
+	s.e.obs.dampPenalties.Inc()
 	if !st.suppressed && st.penalty >= cfg.SuppressAt {
 		st.suppressed = true
+		s.e.obs.dampSuppressions.Inc()
 		// Schedule the reuse check for when the penalty decays to the
 		// reuse threshold. Reuse timers are long-lived wall-clock state,
 		// not in-flight protocol work, so they do not count toward

@@ -18,6 +18,7 @@ type Engine struct {
 	cfg      Config
 	rng      *rand.Rand
 	speakers map[topo.ASN]*Speaker
+	obs      engineObs
 
 	// OnBestChange, if set, observes every loc-RIB change engine-wide.
 	OnBestChange func(BestChange)
@@ -50,6 +51,7 @@ func New(top *topo.Topology, clk *simclock.Scheduler, cfg Config) *Engine {
 		cfg:          cfg,
 		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		speakers:     make(map[topo.ASN]*Speaker, top.NumASes()),
+		obs:          newEngineObs(cfg.Obs),
 		UpdatesSent:  make(map[topo.ASN]int),
 		lastDelivery: make(map[[2]topo.ASN]time.Duration),
 	}
@@ -241,6 +243,7 @@ func (e *Engine) jittered(d time.Duration, j float64) time.Duration {
 // deliver schedules u from "from" to "to", preserving per-pair FIFO order.
 func (e *Engine) deliver(from, to topo.ASN, u update) {
 	e.UpdatesSent[from]++
+	e.obs.updatesSent.Inc()
 	at := e.clk.Now() + e.jittered(e.cfg.PropDelay, e.cfg.PropJitter)
 	key := [2]topo.ASN{from, to}
 	if last := e.lastDelivery[key]; at <= last {

@@ -32,8 +32,9 @@ type lpmNode struct {
 // lpmIndex is one speaker's index over its loc-RIB. The zero value is an
 // empty index ready for use.
 type lpmIndex struct {
-	root lpmNode
-	len  int // number of routes in the index
+	root  lpmNode
+	len   int // number of routes in the index
+	nodes int // live trie nodes below the root (the size gauge reads this)
 
 	// Nodes are carved from slabs and recycled through a free list, so
 	// installing a /24 costs well under one heap allocation on average and
@@ -48,6 +49,7 @@ type lpmIndex struct {
 const lpmSlabSize = 32
 
 func (x *lpmIndex) newNode() *lpmNode {
+	x.nodes++
 	if n := len(x.free); n > 0 {
 		nd := x.free[n-1]
 		x.free = x.free[:n-1]
@@ -126,6 +128,7 @@ func (x *lpmIndex) remove(p netip.Prefix) {
 		parent := path[depth]
 		parent.child[(key>>(31-depth))&1] = nil
 		x.free = append(x.free, n)
+		x.nodes--
 		n = parent
 	}
 }

@@ -169,6 +169,10 @@ func (s *Speaker) withdrawOrigin(prefix netip.Prefix) {
 
 // receive applies one update from a neighbor.
 func (s *Speaker) receive(from topo.ASN, u update) {
+	s.e.obs.updatesReceived.Inc()
+	if u.path == nil {
+		s.e.obs.withdrawalsReceived.Inc()
+	}
 	m := s.adjIn[u.prefix]
 	old := m[from]
 	if u.path == nil || !s.importOK(from, u.path) {
@@ -252,6 +256,7 @@ func (s *Speaker) importOK(from topo.ASN, path topo.Path) bool {
 // decide runs the decision process for prefix; reports whether the loc-RIB
 // changed.
 func (s *Speaker) decide(prefix netip.Prefix) bool {
+	s.e.obs.decisionRuns.Inc()
 	var newBest *Route
 	if ent, ok := s.origin[prefix]; ok {
 		newBest = ent.route
@@ -268,15 +273,21 @@ func (s *Speaker) decide(prefix netip.Prefix) bool {
 	if routesEqual(old, newBest) {
 		return false
 	}
+	nodesBefore := s.lpm.nodes
 	if newBest == nil {
 		delete(s.best, prefix)
 		s.lpm.remove(prefix)
+		s.e.obs.locRIBRoutes.Dec()
 		s.e.notifyBest(s.asn, prefix, nil)
 	} else {
 		s.best[prefix] = newBest
 		s.lpm.insert(prefix, newBest)
+		if old == nil {
+			s.e.obs.locRIBRoutes.Inc()
+		}
 		s.e.notifyBest(s.asn, prefix, newBest.Path)
 	}
+	s.e.obs.lpmNodes.Add(int64(s.lpm.nodes - nodesBefore))
 	return true
 }
 
@@ -316,6 +327,7 @@ func (s *Speaker) markAllPending(prefix netip.Prefix) {
 func (s *Speaker) kick(n topo.ASN) {
 	st := s.out[n]
 	if st.timerArmed {
+		s.e.obs.mraiDeferrals.Inc()
 		return
 	}
 	st.timerArmed = true

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lifeguard/internal/bgp"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 )
 
@@ -32,6 +33,16 @@ type key struct {
 type Collector struct {
 	peers   map[topo.ASN]bool
 	streams map[key][]Entry
+
+	entriesRecorded *obs.Counter
+}
+
+// Instrument registers the collector's metrics with reg. A nil registry
+// leaves the collector uninstrumented.
+func (c *Collector) Instrument(reg *obs.Registry) {
+	reg.Describe("lifeguard_collectors_entries_recorded_total",
+		"best-route changes recorded from collector peers")
+	c.entriesRecorded = reg.Counter("lifeguard_collectors_entries_recorded_total")
 }
 
 // New attaches a collector to the engine with the given initial peers.
@@ -72,6 +83,7 @@ func (c *Collector) observe(bc bgp.BestChange) {
 	}
 	k := key{peer: bc.AS, prefix: bc.Prefix}
 	c.streams[k] = append(c.streams[k], Entry{At: bc.At, Path: bc.Path})
+	c.entriesRecorded.Inc()
 }
 
 // Updates returns the full update stream from peer for prefix.

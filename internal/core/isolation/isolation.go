@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lifeguard/internal/atlas"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/probe"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/topo"
@@ -111,6 +112,38 @@ type Isolator struct {
 	atl *atlas.Atlas
 	clk *simclock.Scheduler
 	cfg Config
+
+	obs isolatorObs
+}
+
+// isolatorObs holds the isolator's metric handles; all-nil means
+// uninstrumented.
+type isolatorObs struct {
+	runs     *obs.Counter
+	healed   *obs.Counter
+	probes   *obs.Counter
+	duration *obs.Histogram
+}
+
+// isolationDurationBuckets covers the estimated isolation time in virtual
+// seconds; the paper reports ~140s for reverse outages (§5.4).
+var isolationDurationBuckets = []float64{10, 30, 60, 120, 240, 480, 960}
+
+// Instrument registers the isolator's metrics with reg. A nil registry
+// leaves the isolator uninstrumented.
+func (iso *Isolator) Instrument(reg *obs.Registry) {
+	reg.Describe("lifeguard_isolation_runs_total",
+		"failure-isolation runs started")
+	reg.Describe("lifeguard_isolation_healed_total",
+		"isolation runs that found the outage already healed")
+	reg.Describe("lifeguard_isolation_probes_total",
+		"probe packets consumed by isolation runs")
+	reg.Describe("lifeguard_isolation_duration_seconds",
+		"estimated isolation duration per run, in virtual-time seconds")
+	iso.obs.runs = reg.Counter("lifeguard_isolation_runs_total")
+	iso.obs.healed = reg.Counter("lifeguard_isolation_healed_total")
+	iso.obs.probes = reg.Counter("lifeguard_isolation_probes_total")
+	iso.obs.duration = reg.Histogram("lifeguard_isolation_duration_seconds", isolationDurationBuckets)
 }
 
 // New returns an isolator. Vantage points are taken from the atlas.
@@ -123,10 +156,16 @@ func New(top *topo.Topology, pr *probe.Prober, atl *atlas.Atlas, clk *simclock.S
 // how long the measurements would have taken.
 func (iso *Isolator) Isolate(vp topo.RouterID, target netip.Addr) *Report {
 	rep := &Report{VP: vp, Target: target, At: iso.clk.Now()}
+	iso.obs.runs.Inc()
 	probesBefore := iso.pr.Sent
 	defer func() {
 		rep.ProbesUsed = iso.pr.Sent - probesBefore
 		rep.EstimatedDuration = time.Duration(rep.ProbesUsed) * iso.cfg.PerProbeLatency
+		if rep.Healed {
+			iso.obs.healed.Inc()
+		}
+		iso.obs.probes.Add(int64(rep.ProbesUsed))
+		iso.obs.duration.Observe(rep.EstimatedDuration.Seconds())
 	}()
 
 	// Re-confirm the failure; outages resolve on their own all the time.

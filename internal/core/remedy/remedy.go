@@ -13,6 +13,7 @@ import (
 
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/core/isolation"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/probe"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/splice"
@@ -162,6 +163,34 @@ type Controller struct {
 	History []*Repair
 
 	ticker simclock.EventID
+
+	obs controllerObs
+}
+
+// controllerObs holds the repair engine's metric handles; all-nil means
+// uninstrumented.
+type controllerObs struct {
+	poisons          *obs.Counter
+	selectivePoisons *obs.Counter
+	unpoisons        *obs.Counter
+	sentinelChecks   *obs.Counter
+	sentinelHealed   *obs.Counter
+}
+
+// Instrument registers the repair engine's metrics with reg. A nil
+// registry leaves the controller uninstrumented.
+func (c *Controller) Instrument(reg *obs.Registry) {
+	reg.Describe("lifeguard_remedy_poisons_total",
+		"poisoned announcements installed, by kind (full or selective)")
+	reg.Describe("lifeguard_remedy_unpoisons_total",
+		"repairs reverted to the baseline announcement")
+	reg.Describe("lifeguard_remedy_sentinel_checks_total",
+		"sentinel probes issued while a repair was active, by outcome")
+	c.obs.poisons = reg.Counter("lifeguard_remedy_poisons_total", obs.L("kind", "full"))
+	c.obs.selectivePoisons = reg.Counter("lifeguard_remedy_poisons_total", obs.L("kind", "selective"))
+	c.obs.unpoisons = reg.Counter("lifeguard_remedy_unpoisons_total")
+	c.obs.sentinelChecks = reg.Counter("lifeguard_remedy_sentinel_checks_total", obs.L("outcome", "pending"))
+	c.obs.sentinelHealed = reg.Counter("lifeguard_remedy_sentinel_checks_total", obs.L("outcome", "healed"))
 }
 
 // New returns a controller; call AnnounceBaseline before relying on it.
@@ -244,6 +273,7 @@ func (c *Controller) Poison(asn topo.ASN, victim netip.Addr) *Repair {
 	r := &Repair{Avoided: asn, Victim: victim, Started: c.clk.Now()}
 	c.active = r
 	c.History = append(c.History, r)
+	c.obs.poisons.Inc()
 	c.eng.Announce(c.cfg.Origin, c.cfg.Production, bgp.OriginConfig{Pattern: c.poisonPattern(asn)})
 	c.armSentinel()
 	return r
@@ -257,6 +287,7 @@ func (c *Controller) PoisonSelective(asn topo.ASN, keepVia topo.ASN, victim neti
 	r := &Repair{Avoided: asn, Selective: keepVia, Victim: victim, Started: c.clk.Now()}
 	c.active = r
 	c.History = append(c.History, r)
+	c.obs.selectivePoisons.Inc()
 	per := make(map[topo.ASN]topo.Path)
 	for _, p := range c.eng.Topology().Providers(c.cfg.Origin) {
 		if p != keepVia {
@@ -279,6 +310,7 @@ func (c *Controller) Unpoison() {
 	}
 	c.clk.Cancel(c.ticker)
 	c.active.Ended = c.clk.Now()
+	c.obs.unpoisons.Inc()
 	done := c.active
 	c.active = nil
 	c.AnnounceBaseline()
@@ -313,6 +345,17 @@ func (c *Controller) CheckSentinel() bool {
 		return false
 	}
 	c.active.SentinelChecks++
+	healed := c.sentinelHealed()
+	if healed {
+		c.obs.sentinelHealed.Inc()
+	} else {
+		c.obs.sentinelChecks.Inc()
+	}
+	return healed
+}
+
+// sentinelHealed issues one sentinel probe per the configured mode.
+func (c *Controller) sentinelHealed() bool {
 	hub := c.eng.Topology().AS(c.cfg.Origin).Routers[0]
 	switch c.cfg.Mode {
 	case SentinelNonAdjacent:

@@ -13,6 +13,7 @@ import (
 	"net/netip"
 
 	"lifeguard/internal/bgp"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 )
 
@@ -159,6 +160,29 @@ type Plane struct {
 	// runs once per pair for the lifetime of the plane. The simulation
 	// core is single-goroutine, like the engine it consults.
 	pathCache map[[2]topo.RouterID][]topo.RouterID
+
+	obs planeObs
+}
+
+// planeObs holds the plane's metric handles; all nil (one branch per
+// packet) until Instrument is called.
+type planeObs struct {
+	forwarded *obs.Counter
+	// drops is indexed by Reason; the Delivered slot stays nil.
+	drops [ForwardLoop + 1]*obs.Counter
+}
+
+// Instrument registers the plane's metrics: packets injected, and drops
+// broken down by reason (no-route, blackhole, ttl-expired, forward-loop).
+// Counting happens outside the forwarding walk, so instrumented and
+// uninstrumented planes forward identically.
+func (pl *Plane) Instrument(reg *obs.Registry) {
+	reg.Describe("lifeguard_dataplane_packets_forwarded_total", "packets injected into the data plane")
+	reg.Describe("lifeguard_dataplane_packets_dropped_total", "packets that did not reach their destination, by reason")
+	pl.obs.forwarded = reg.Counter("lifeguard_dataplane_packets_forwarded_total")
+	for r := NoRoute; r <= ForwardLoop; r++ {
+		pl.obs.drops[r] = reg.Counter("lifeguard_dataplane_packets_dropped_total", obs.L("reason", r.String()))
+	}
 }
 
 // New returns a data plane over the topology, consulting rib at each AS.
@@ -258,6 +282,15 @@ func (r *Rule) pktMatch(c *matchCtx) bool {
 // Forward injects pkt at router "from" (the sender's gateway) and walks it
 // to its fate. The sender's own router does not consume TTL.
 func (pl *Plane) Forward(from topo.RouterID, pkt Packet) Result {
+	res := pl.forward(from, pkt)
+	pl.obs.forwarded.Inc()
+	if res.Reason != Delivered {
+		pl.obs.drops[res.Reason].Inc()
+	}
+	return res
+}
+
+func (pl *Plane) forward(from topo.RouterID, pkt Packet) Result {
 	ttl := pkt.TTL
 	if ttl <= 0 {
 		ttl = DefaultTTL

@@ -6,6 +6,7 @@ import (
 
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/outage"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/splice"
@@ -19,7 +20,7 @@ import (
 func Ablations() []Experiment {
 	return []Experiment{
 		{"abl-threshold", "poison-maturity threshold: wasted poisons vs downtime avoided (§4.2)", thresholdScenario},
-		{"abl-precheck", "alternate-path precheck: harmful poisons prevented (§4.2)", single(AblationPrecheck)},
+		{"abl-precheck", "alternate-path precheck: harmful poisons prevented (§4.2)", single(ablationPrecheck)},
 		{"abl-dampening", "unpoison pacing vs route-flap dampening (§5)", dampeningScenario},
 	}
 }
@@ -72,7 +73,7 @@ var thresholdScenario = Scenario{
 		trials := make([]Trial, len(ablationThresholds))
 		for i, th := range ablationThresholds {
 			th := th
-			trials[i] = Trial{Name: "threshold=" + th.String(), Run: func() any { return thresholdSweep(seed, th) }}
+			trials[i] = Trial{Name: "threshold=" + th.String(), Run: func(_ *obs.Registry) any { return thresholdSweep(seed, th) }}
 		}
 		return trials
 	},
@@ -105,9 +106,11 @@ func AblationThreshold(seed int64) *Result { return thresholdScenario.Run(seed) 
 // AblationPrecheck measures what the §4.2 alternate-path precheck buys:
 // without it, a poison against an AS that is some victim's only path cuts
 // that victim off entirely (worse than the outage, which was partial).
-func AblationPrecheck(seed int64) *Result {
+func AblationPrecheck(seed int64) *Result { return ablationPrecheck(seed, nil) }
+
+func ablationPrecheck(seed int64, reg *obs.Registry) *Result {
 	r := newResult("abl-precheck", "alternate-path precheck value")
-	n := buildWithOrigin(seed, topogen.Config{NumTransit: 15, NumStub: 40}, 1)
+	n := buildWithOrigin(seed, topogen.Config{NumTransit: 15, NumStub: 40}, 1, reg)
 	prod := topo.ProductionPrefix(n.origin)
 	n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: topo.Path{n.origin, n.origin, n.origin}})
 	n.converge()
@@ -174,8 +177,8 @@ type dampeningPart struct {
 	asesTotal                      int
 }
 
-func dampeningSweep(seed int64, period time.Duration) *dampeningPart {
-	n, victim := dampeningNet(seed)
+func dampeningSweep(seed int64, period time.Duration, reg *obs.Registry) *dampeningPart {
+	n, victim := dampeningNet(seed, reg)
 	prod := topo.ProductionPrefix(n.origin)
 	base := topo.Path{n.origin, n.origin, n.origin}
 	n.eng.Announce(n.origin, prod, bgp.OriginConfig{Pattern: base})
@@ -223,7 +226,7 @@ var dampeningScenario = Scenario{
 		trials := make([]Trial, len(ablationPeriods))
 		for i, period := range ablationPeriods {
 			period := period
-			trials[i] = Trial{Name: "period=" + period.String(), Run: func() any { return dampeningSweep(seed, period) }}
+			trials[i] = Trial{Name: "period=" + period.String(), Run: func(reg *obs.Registry) any { return dampeningSweep(seed, period, reg) }}
 		}
 		return trials
 	},
@@ -253,7 +256,7 @@ func AblationDampening(seed int64) *Result { return dampeningScenario.Run(seed) 
 
 // dampeningNet builds a small dampening-enabled internetwork with an origin
 // and a poison victim on collector paths.
-func dampeningNet(seed int64) (*net, topo.ASN) {
+func dampeningNet(seed int64, reg *obs.Registry) (*net, topo.ASN) {
 	gen, err := topogen.GenerateWithOrigin(topogen.Config{
 		Seed: seed, NumTier1: 3, NumTransit: 10, NumStub: 25,
 	}, 1)
@@ -264,6 +267,7 @@ func dampeningNet(seed int64) (*net, topo.ASN) {
 	eng := bgp.New(gen.Top, clk, bgp.Config{
 		Seed:      seed,
 		Dampening: bgp.DampeningConfig{Enabled: true},
+		Obs:       reg,
 	})
 	for _, asn := range gen.Top.ASNs() {
 		eng.Originate(asn, topo.Block(asn))

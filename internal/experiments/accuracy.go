@@ -8,6 +8,7 @@ import (
 	"lifeguard/internal/core/isolation"
 	"lifeguard/internal/dataplane"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/outage"
 	"lifeguard/internal/topo"
 	"lifeguard/internal/topogen"
@@ -24,8 +25,8 @@ type isoRig struct {
 	targets []netip.Addr
 }
 
-func buildIsoRig(seed int64) *isoRig {
-	n := build(seed, topogen.Config{NumTransit: 35, NumStub: 110})
+func buildIsoRig(seed int64, reg *obs.Registry) *isoRig {
+	n := build(seed, topogen.Config{NumTransit: 35, NumStub: 110}, reg)
 	rig := &isoRig{n: n}
 	rig.atl = atlas.New(n.top, n.prober, n.clk, atlas.Config{})
 	for _, s := range sample(n.rng, n.gen.Stubs, 8) {
@@ -45,6 +46,7 @@ func buildIsoRig(seed int64) *isoRig {
 	rig.atl.RefreshAll()
 	n.clk.RunFor(time.Minute)
 	rig.iso = isolation.New(n.top, n.prober, rig.atl, n.clk, isolation.Config{})
+	rig.iso.Instrument(reg)
 	return rig
 }
 
@@ -165,9 +167,11 @@ func (rig *isoRig) clear(f injectedFailure) {
 // the analogue of "consistent with traceroutes from the far side" (93%) —
 // and (b) LIFEGUARD's blame against what traceroute alone would conclude
 // (different in 40% of poisoning-candidate cases).
-func Accuracy(seed int64) *Result {
+func Accuracy(seed int64) *Result { return accuracy(seed, nil) }
+
+func accuracy(seed int64, reg *obs.Registry) *Result {
 	r := newResult("tab1-accuracy", "failure isolation accuracy")
-	rig := buildIsoRig(seed)
+	rig := buildIsoRig(seed, reg)
 	n := rig.n
 
 	events := outage.Generate(outage.Config{Seed: seed + 1, N: 600})
@@ -243,9 +247,11 @@ func Accuracy(seed int64) *Result {
 // throughput and amortized cost, and per-isolation probe count and latency
 // (paper: ~10 option probes + ~2 traceroutes per refreshed path, 225
 // paths/min average; ~280 probes and ~140 s per isolated outage).
-func Scalability(seed int64) *Result {
+func Scalability(seed int64) *Result { return scalability(seed, nil) }
+
+func scalability(seed int64, reg *obs.Registry) *Result {
 	r := newResult("sec5.4", "measurement overhead and throughput")
-	rig := buildIsoRig(seed)
+	rig := buildIsoRig(seed, reg)
 	n := rig.n
 
 	// Steady-state refresh cost: probes per reverse path, amortized.

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/outage"
 	"lifeguard/internal/splice"
 	"lifeguard/internal/topo"
@@ -21,12 +22,14 @@ import (
 // diversity is high), while short blips cluster at the destination's access
 // providers (where a single-homed stub has no alternative) — that location
 // skew is what makes alternate-path availability grow with outage duration.
-func AltPaths(seed int64) *Result {
+func AltPaths(seed int64) *Result { return altPaths(seed, nil) }
+
+func altPaths(seed int64, reg *obs.Registry) *Result {
 	r := newResult("sec2.2", "policy-compliant alternate paths during outages")
 	// PlanetLab-like conditions: sites are multihomed academic edge
 	// networks, and the transit mesh is well peered.
 	n := build(seed, topogen.Config{NumTransit: 30, NumStub: 90,
-		TransitPeerProb: 0.12, StubMultihomeProb: 0.75})
+		TransitPeerProb: 0.12, StubMultihomeProb: 0.75}, reg)
 
 	// Site mix mirrors PlanetLab: mostly multihomed academic networks,
 	// with a minority of single-homed sites.

@@ -4,6 +4,7 @@ import (
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/dataplane"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 	"lifeguard/internal/topogen"
 )
@@ -22,12 +23,14 @@ import (
 //   - prepending: make that side's announcement much longer;
 //   - selective poisoning of the faulty AS (via the other provider);
 //   - full poisoning of the faulty AS.
-func Baselines(seed int64) *Result {
+func Baselines(seed int64) *Result { return baselines(seed, nil) }
+
+func baselines(seed int64, reg *obs.Registry) *Result {
 	r := newResult("sec2.3-baselines", "remediation techniques vs remote reverse failures")
 	n := buildWithOrigin(seed, topogen.Config{
 		NumTransit: 25, NumStub: 80,
 		TransitPeerProb: 0.10, StubMultihomeProb: 0.65,
-	}, 2)
+	}, 2, reg)
 	prod := topo.ProductionPrefix(n.origin)
 	base := topo.Path{n.origin, n.origin, n.origin}
 	baseline := func() {

@@ -6,6 +6,7 @@ import (
 
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/dataplane"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/probe"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/topo"
@@ -21,6 +22,7 @@ type net struct {
 	plane  *dataplane.Plane
 	prober *probe.Prober
 	rng    *rand.Rand
+	reg    *obs.Registry // nil when the trial runs uninstrumented
 
 	// origin, when built with buildWithOrigin, is the multihomed stub AS
 	// playing the LIFEGUARD/BGP-Mux role; muxes are its providers.
@@ -36,15 +38,16 @@ func (n *net) converge() {
 	}
 }
 
-// build assembles a converged internetwork of the given size.
-func build(seed int64, cfg topogen.Config) *net {
+// build assembles a converged internetwork of the given size. reg, when
+// non-nil, instruments every subsystem of the assembled network.
+func build(seed int64, cfg topogen.Config, reg *obs.Registry) *net {
 	cfg.Seed = seed
 	gen, err := topogen.Generate(cfg)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: topogen: %v", err))
 	}
 	clk := simclock.New()
-	eng := bgp.New(gen.Top, clk, bgp.Config{Seed: seed})
+	eng := bgp.New(gen.Top, clk, bgp.Config{Seed: seed, Obs: reg})
 	for _, asn := range gen.Top.ASNs() {
 		eng.Originate(asn, topo.Block(asn))
 	}
@@ -52,8 +55,11 @@ func build(seed int64, cfg topogen.Config) *net {
 		gen: gen, top: gen.Top, clk: clk, eng: eng,
 		plane: dataplane.New(gen.Top, eng),
 		rng:   rand.New(rand.NewSource(seed ^ 0x5EED)),
+		reg:   reg,
 	}
+	n.plane.Instrument(reg)
 	n.prober = probe.New(gen.Top, n.plane, clk, probe.Config{})
+	n.prober.Instrument(reg)
 	n.converge()
 	return n
 }
@@ -62,14 +68,14 @@ func build(seed int64, cfg topogen.Config) *net {
 // stub attached to `providers` distinct transit ASes — the BGP-Mux
 // deployment shape of §5 (one AS, announcements via several university
 // muxes).
-func buildWithOrigin(seed int64, cfg topogen.Config, providers int) *net {
+func buildWithOrigin(seed int64, cfg topogen.Config, providers int, reg *obs.Registry) *net {
 	cfg.Seed = seed
 	gen, err := topogen.GenerateWithOrigin(cfg, providers)
 	if err != nil {
 		panic(fmt.Sprintf("experiments: topogen: %v", err))
 	}
 	clk := simclock.New()
-	eng := bgp.New(gen.Top, clk, bgp.Config{Seed: seed})
+	eng := bgp.New(gen.Top, clk, bgp.Config{Seed: seed, Obs: reg})
 	for _, asn := range gen.Top.ASNs() {
 		eng.Originate(asn, topo.Block(asn))
 	}
@@ -77,10 +83,13 @@ func buildWithOrigin(seed int64, cfg topogen.Config, providers int) *net {
 		gen: gen, top: gen.Top, clk: clk, eng: eng,
 		plane:  dataplane.New(gen.Top, eng),
 		rng:    rand.New(rand.NewSource(seed ^ 0x5EED)),
+		reg:    reg,
 		origin: gen.Origin,
 		muxes:  gen.Top.Providers(gen.Origin),
 	}
+	n.plane.Instrument(reg)
 	n.prober = probe.New(gen.Top, n.plane, clk, probe.Config{})
+	n.prober.Instrument(reg)
 	n.converge()
 	return n
 }

@@ -7,6 +7,7 @@ import (
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/collectors"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 	"lifeguard/internal/topogen"
 )
@@ -27,8 +28,8 @@ type convRig struct {
 	plain, prepend topo.Path
 }
 
-func buildConvRig(seed int64) *convRig {
-	n := buildWithOrigin(seed, topogen.Config{NumTransit: 30, NumStub: 100}, 1)
+func buildConvRig(seed int64, reg *obs.Registry) *convRig {
+	n := buildWithOrigin(seed, topogen.Config{NumTransit: 30, NumStub: 100}, 1, reg)
 	rig := &convRig{
 		n:    n,
 		prod: topo.ProductionPrefix(n.origin),
@@ -38,6 +39,7 @@ func buildConvRig(seed int64) *convRig {
 
 	peerSet := sample(n.rng, append(append([]topo.ASN(nil), n.gen.Stubs...), n.gen.Transit...), 50)
 	rig.coll = collectors.New(n.eng)
+	rig.coll.Instrument(reg)
 	for _, p := range peerSet {
 		if p != n.origin {
 			rig.coll.AddPeer(p)
@@ -83,8 +85,8 @@ type convPart struct {
 // measures per-peer convergence (burst width from the collectors'
 // report), separated by whether the peer had been routing through the
 // poisoned AS.
-func convergenceSweep(seed int64, usePrepend bool) *convPart {
-	rig := buildConvRig(seed)
+func convergenceSweep(seed int64, usePrepend bool, reg *obs.Registry) *convPart {
+	rig := buildConvRig(seed, reg)
 	n := rig.n
 	baseline := rig.plain
 	if usePrepend {
@@ -133,8 +135,8 @@ func convergenceSweep(seed int64, usePrepend bool) *convPart {
 var convergenceScenario = Scenario{
 	Trials: func(seed int64) []Trial {
 		return []Trial{
-			{Name: "prepend", Run: func() any { return convergenceSweep(seed, true) }},
-			{Name: "noprepend", Run: func() any { return convergenceSweep(seed, false) }},
+			{Name: "prepend", Run: func(reg *obs.Registry) any { return convergenceSweep(seed, true, reg) }},
+			{Name: "noprepend", Run: func(reg *obs.Registry) any { return convergenceSweep(seed, false, reg) }},
 		}
 	},
 	Reduce: func(_ int64, parts []any) *Result {
@@ -215,8 +217,8 @@ type lossRig struct {
 	victims []topo.ASN
 }
 
-func buildLossRig(seed int64) *lossRig {
-	n := buildWithOrigin(seed, topogen.Config{NumTransit: 30, NumStub: 100}, 1)
+func buildLossRig(seed int64, reg *obs.Registry) *lossRig {
+	n := buildWithOrigin(seed, topogen.Config{NumTransit: 30, NumStub: 100}, 1, reg)
 	rig := &lossRig{n: n, prod: topo.ProductionPrefix(n.origin)}
 	rig.prepend = topo.Path{n.origin, n.origin, n.origin}
 	n.eng.Announce(n.origin, rig.prod, bgp.OriginConfig{Pattern: rig.prepend})
@@ -242,8 +244,8 @@ type lossPart struct {
 // lossSweep measures convergence-window loss for one contiguous shard of
 // the victim list. Each victim's cycle re-converges its baseline before
 // poisoning, so victims are independent and the list shards cleanly.
-func lossSweep(seed int64, shard, shards int) *lossPart {
-	rig := buildLossRig(seed)
+func lossSweep(seed int64, shard, shards int, reg *obs.Registry) *lossPart {
+	rig := buildLossRig(seed, reg)
 	n := rig.n
 	p := &lossPart{}
 	srcAddr := topo.ProductionAddr(n.origin)
@@ -320,8 +322,8 @@ func lossSweep(seed int64, shard, shards int) *lossPart {
 var lossScenario = Scenario{
 	Trials: func(seed int64) []Trial {
 		return []Trial{
-			{Name: "shard0", Run: func() any { return lossSweep(seed, 0, 2) }},
-			{Name: "shard1", Run: func() any { return lossSweep(seed, 1, 2) }},
+			{Name: "shard0", Run: func(reg *obs.Registry) any { return lossSweep(seed, 0, 2, reg) }},
+			{Name: "shard1", Run: func(reg *obs.Registry) any { return lossSweep(seed, 1, 2, reg) }},
 		}
 	},
 	Reduce: func(_ int64, parts []any) *Result {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 	"lifeguard/internal/topogen"
 )
@@ -13,9 +14,11 @@ import (
 // destination on the preferred route failed silently, could the origin
 // avoid it by egressing via a different provider? The paper: yes in 90% of
 // cases.
-func ForwardDiversity(seed int64) *Result {
+func ForwardDiversity(seed int64) *Result { return forwardDiversity(seed, nil) }
+
+func forwardDiversity(seed int64, reg *obs.Registry) *Result {
 	r := newResult("sec2.3", "forward-path provider diversity")
-	n := buildWithOrigin(seed, topogen.Config{NumTransit: 35, NumStub: 120}, 5)
+	n := buildWithOrigin(seed, topogen.Config{NumTransit: 35, NumStub: 120}, 5, reg)
 
 	// Target ASes mirror the paper's 114 feed ASes: networks that peer
 	// with route collectors are well-connected, so restrict to transit
@@ -92,9 +95,11 @@ func containsLink(p topo.Path, a, b topo.ASN) bool {
 // first-hop AS link by poisoning the peer via all muxes but one, without
 // cutting the peer off? The paper avoided 73% of the first-hop links of its
 // 114 feed ASes this way (vs. 90% for forward paths).
-func Selective(seed int64) *Result {
+func Selective(seed int64) *Result { return selective(seed, nil) }
+
+func selective(seed int64, reg *obs.Registry) *Result {
 	r := newResult("sec5.2-selective", "selective poisoning of first-hop AS links")
-	n := buildWithOrigin(seed, topogen.Config{NumTransit: 35, NumStub: 120}, 5)
+	n := buildWithOrigin(seed, topogen.Config{NumTransit: 35, NumStub: 120}, 5, reg)
 	prod := topo.ProductionPrefix(n.origin)
 
 	baselinePattern := topo.Path{n.origin, n.origin, n.origin}

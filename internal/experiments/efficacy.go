@@ -7,6 +7,7 @@ import (
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/collectors"
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/outage"
 	"lifeguard/internal/splice"
 	"lifeguard/internal/topo"
@@ -49,11 +50,11 @@ type efficacyRig struct {
 	victims  []topo.ASN
 }
 
-func buildEfficacyRig(seed int64) *efficacyRig {
+func buildEfficacyRig(seed int64, reg *obs.Registry) *efficacyRig {
 	n := buildWithOrigin(seed, topogen.Config{
 		NumTransit: 30, NumStub: 100,
 		TransitPeerProb: 0.12, StubMultihomeProb: 0.72, TransitExtraProviderProb: 0.8,
-	}, 1)
+	}, 1, reg)
 	rig := &efficacyRig{n: n, prod: topo.ProductionPrefix(n.origin)}
 	gtProvider := n.muxes[0]
 
@@ -61,6 +62,7 @@ func buildEfficacyRig(seed int64) *efficacyRig {
 	// the rig's rng stream.)
 	peerSet := sample(n.rng, append(append([]topo.ASN(nil), n.gen.Stubs...), n.gen.Transit...), 60)
 	rig.coll = collectors.New(n.eng)
+	rig.coll.Instrument(reg)
 	for _, p := range peerSet {
 		if p != n.origin {
 			rig.coll.AddPeer(p)
@@ -101,8 +103,8 @@ type efficacyTestbedPart struct {
 	agree            metrics.Counter
 }
 
-func efficacyTestbed(seed int64) *efficacyTestbedPart {
-	rig := buildEfficacyRig(seed)
+func efficacyTestbed(seed int64, reg *obs.Registry) *efficacyTestbedPart {
+	rig := buildEfficacyRig(seed, reg)
 	n := rig.n
 	p := &efficacyTestbedPart{victims: len(rig.victims)}
 	for _, a := range rig.victims {
@@ -136,8 +138,8 @@ type efficacySimPart struct {
 	simCases, simAlt int
 }
 
-func efficacySim(seed int64) *efficacySimPart {
-	rig := buildEfficacyRig(seed)
+func efficacySim(seed int64, reg *obs.Registry) *efficacySimPart {
+	rig := buildEfficacyRig(seed, reg)
 	n := rig.n
 	p := &efficacySimPart{}
 	origins := rig.sampleSimOrigins()
@@ -169,8 +171,8 @@ type efficacyIsoPart struct {
 	isoCases, isoAlt int
 }
 
-func efficacyIso(seed int64) *efficacyIsoPart {
-	rig := buildEfficacyRig(seed)
+func efficacyIso(seed int64, reg *obs.Registry) *efficacyIsoPart {
+	rig := buildEfficacyRig(seed, reg)
 	n := rig.n
 	_ = rig.sampleSimOrigins() // burn the sim study's draw: stream alignment
 	p := &efficacyIsoPart{}
@@ -209,9 +211,9 @@ func efficacyIso(seed int64) *efficacyIsoPart {
 var efficacyScenario = Scenario{
 	Trials: func(seed int64) []Trial {
 		return []Trial{
-			{Name: "testbed", Run: func() any { return efficacyTestbed(seed) }},
-			{Name: "simulation", Run: func() any { return efficacySim(seed) }},
-			{Name: "isolated", Run: func() any { return efficacyIso(seed) }},
+			{Name: "testbed", Run: func(reg *obs.Registry) any { return efficacyTestbed(seed, reg) }},
+			{Name: "simulation", Run: func(reg *obs.Registry) any { return efficacySim(seed, reg) }},
+			{Name: "isolated", Run: func(reg *obs.Registry) any { return efficacyIso(seed, reg) }},
 		}
 	},
 	Reduce: func(_ int64, parts []any) *Result {

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
 )
 
 // Result is the outcome of one experiment.
@@ -78,8 +79,12 @@ type Trial struct {
 	// Name labels the trial for diagnostics ("testbed", "period=5m0s").
 	Name string
 	// Run performs the trial. It may panic on simulation bugs (the
-	// runner captures the stack); it must be deterministic.
-	Run func() any
+	// runner captures the stack); it must be deterministic. reg, when
+	// non-nil, is the trial's private metrics registry: the simulated
+	// network the trial builds reports into it, and the caller merges
+	// the per-trial registries in trial-index order. Metrics are
+	// observe-only, so a nil reg yields the same trial output.
+	Run func(reg *obs.Registry) any
 }
 
 // Scenario decomposes an experiment into independent per-seed trials plus
@@ -101,7 +106,7 @@ func (s Scenario) Run(seed int64) *Result {
 	trials := s.Trials(seed)
 	parts := make([]any, len(trials))
 	for i := range trials {
-		parts[i] = trials[i].Run()
+		parts[i] = trials[i].Run(nil)
 	}
 	return s.Reduce(seed, parts)
 }
@@ -109,13 +114,20 @@ func (s Scenario) Run(seed int64) *Result {
 // single wraps a monolithic run function as a one-trial scenario: the
 // experiment's work is not subdividable without changing its random
 // streams, so the whole run is the unit of parallelism.
-func single(run func(seed int64) *Result) Scenario {
+func single(run func(seed int64, reg *obs.Registry) *Result) Scenario {
 	return Scenario{
 		Trials: func(seed int64) []Trial {
-			return []Trial{{Name: "all", Run: func() any { return run(seed) }}}
+			return []Trial{{Name: "all", Run: func(reg *obs.Registry) any { return run(seed, reg) }}}
 		},
 		Reduce: func(_ int64, parts []any) *Result { return parts[0].(*Result) },
 	}
+}
+
+// noObs adapts an experiment with no simulated network underneath (pure
+// arithmetic over generated outage events) to the obs-threaded trial
+// shape; there is nothing to instrument.
+func noObs(run func(seed int64) *Result) func(int64, *obs.Registry) *Result {
+	return func(seed int64, _ *obs.Registry) *Result { return run(seed) }
 }
 
 // Experiment couples an ID with its scenario.
@@ -131,18 +143,18 @@ func (e Experiment) Run(seed int64) *Result { return e.Scenario.Run(seed) }
 // All lists every experiment in paper order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig1", "outage duration CDF vs share of unavailability (§2.1)", single(Fig1)},
-		{"fig5", "residual outage duration after X minutes (§4.2)", single(Fig5)},
-		{"alt", "policy-compliant alternate paths during outages (§2.2)", single(AltPaths)},
-		{"fwd", "forward-path provider diversity (§2.3)", single(ForwardDiversity)},
+		{"fig1", "outage duration CDF vs share of unavailability (§2.1)", single(noObs(Fig1))},
+		{"fig5", "residual outage duration after X minutes (§4.2)", single(noObs(Fig5))},
+		{"alt", "policy-compliant alternate paths during outages (§2.2)", single(altPaths)},
+		{"fwd", "forward-path provider diversity (§2.3)", single(forwardDiversity)},
 		{"efficacy", "poisoning efficacy: testbed + large-scale simulation (Table 1, §5.1)", efficacyScenario},
 		{"fig6", "per-peer and global convergence after poisoning (Fig. 6, §5.2)", convergenceScenario},
 		{"loss", "packet loss during post-poisoning convergence (§5.2)", lossScenario},
-		{"selective", "selective poisoning of AS links (§5.2)", single(Selective)},
-		{"accuracy", "failure isolation accuracy vs traceroute (Table 1, §5.3)", single(Accuracy)},
-		{"scale", "atlas refresh and isolation overhead (§5.4)", single(Scalability)},
-		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", single(Table2)},
-		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", single(Baselines)},
+		{"selective", "selective poisoning of AS links (§5.2)", single(selective)},
+		{"accuracy", "failure isolation accuracy vs traceroute (Table 1, §5.3)", single(accuracy)},
+		{"scale", "atlas refresh and isolation overhead (§5.4)", single(scalability)},
+		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", single(noObs(Table2))},
+		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", single(baselines)},
 	}
 }
 

@@ -3,18 +3,53 @@ package experiments
 import (
 	"context"
 
+	"lifeguard/internal/obs"
 	"lifeguard/internal/runner"
 )
+
+// unitOut pairs one trial's partial result with the private registry it
+// reported into (nil when the run is uninstrumented).
+type unitOut struct {
+	part any
+	reg  *obs.Registry
+}
+
+// runUnits executes trial closures on the pool, giving each its own
+// registry when dst is enabled, and merges the per-trial registries into
+// dst in trial-index order after the pool drains. Per-trial metrics are
+// pure functions of the trial, and the merge order is fixed, so dst's
+// snapshot is byte-identical at every parallelism level.
+func runUnits(ctx context.Context, units []func(reg *obs.Registry) any, cfg runner.Config, dst *obs.Registry) ([]any, error) {
+	outs, err := runner.Map(ctx, len(units), cfg, func(_ context.Context, i int) (unitOut, error) {
+		var reg *obs.Registry
+		if dst.Enabled() {
+			reg = obs.New()
+		}
+		return unitOut{part: units[i](reg), reg: reg}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	parts := make([]any, len(outs))
+	for i, o := range outs {
+		parts[i] = o.part
+		dst.Merge(o.reg)
+	}
+	return parts, nil
+}
 
 // RunParallel executes one experiment's trials on the runner pool and
 // reduces them in trial order. For any fixed seed the Result — and hence
 // the rendered report — is byte-identical to Run at every parallelism
-// level; only wall-clock time changes.
-func (e Experiment) RunParallel(ctx context.Context, seed int64, cfg runner.Config) (*Result, error) {
+// level; only wall-clock time changes. reg, when non-nil, accumulates the
+// trials' metrics (merged in trial order).
+func (e Experiment) RunParallel(ctx context.Context, seed int64, cfg runner.Config, reg *obs.Registry) (*Result, error) {
 	trials := e.Scenario.Trials(seed)
-	parts, err := runner.Map(ctx, len(trials), cfg, func(_ context.Context, i int) (any, error) {
-		return trials[i].Run(), nil
-	})
+	units := make([]func(reg *obs.Registry) any, len(trials))
+	for i := range trials {
+		units[i] = trials[i].Run
+	}
+	parts, err := runUnits(ctx, units, cfg, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -30,12 +65,14 @@ type span struct{ start, n int }
 // results are indexed [experiment][seed offset], reduced in deterministic
 // order regardless of how the pool interleaved the trials. A failing
 // trial (panic, timeout, error) aborts the suite with the runner's typed
-// error.
-func RunSuite(ctx context.Context, exps []Experiment, baseSeed int64, seeds int, cfg runner.Config) ([][]*Result, error) {
+// error. reg, when non-nil, accumulates every trial's metrics: each trial
+// reports into a private registry, merged into reg in trial-index order,
+// so reg's snapshot is byte-identical at every parallelism level.
+func RunSuite(ctx context.Context, exps []Experiment, baseSeed int64, seeds int, cfg runner.Config, reg *obs.Registry) ([][]*Result, error) {
 	if seeds < 1 {
 		seeds = 1
 	}
-	var units []func() any
+	var units []func(reg *obs.Registry) any
 	spans := make([][]span, len(exps))
 	for ei, e := range exps {
 		spans[ei] = make([]span, seeds)
@@ -48,9 +85,7 @@ func RunSuite(ctx context.Context, exps []Experiment, baseSeed int64, seeds int,
 		}
 	}
 
-	parts, err := runner.Map(ctx, len(units), cfg, func(_ context.Context, i int) (any, error) {
-		return units[i](), nil
-	})
+	parts, err := runUnits(ctx, units, cfg, reg)
 	if err != nil {
 		return nil, err
 	}

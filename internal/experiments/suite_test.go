@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"lifeguard/internal/obs"
 	"lifeguard/internal/runner"
 )
 
@@ -33,7 +34,7 @@ func TestRunParallelMatchesRun(t *testing.T) {
 	for _, e := range cheapExperiments(t) {
 		want := e.Run(3).String()
 		for _, par := range []int{1, 2, 8} {
-			got, err := e.RunParallel(context.Background(), 3, runner.Config{Parallelism: par})
+			got, err := e.RunParallel(context.Background(), 3, runner.Config{Parallelism: par}, nil)
 			if err != nil {
 				t.Fatalf("%s parallel=%d: %v", e.ID, par, err)
 			}
@@ -50,7 +51,7 @@ func TestRunParallelMatchesRun(t *testing.T) {
 func TestRunSuiteMatchesSequential(t *testing.T) {
 	exps := cheapExperiments(t)
 	const baseSeed, seeds = 1, 2
-	results, err := RunSuite(context.Background(), exps, baseSeed, seeds, runner.Config{Parallelism: 8})
+	results, err := RunSuite(context.Background(), exps, baseSeed, seeds, runner.Config{Parallelism: 8}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,14 +89,14 @@ func TestRunParallelPropagatesTrialPanic(t *testing.T) {
 		Scenario: Scenario{
 			Trials: func(seed int64) []Trial {
 				return []Trial{
-					{Name: "ok", Run: func() any { return 1 }},
-					{Name: "bad", Run: func() any { panic("synthetic trial failure") }},
+					{Name: "ok", Run: func(_ *obs.Registry) any { return 1 }},
+					{Name: "bad", Run: func(_ *obs.Registry) any { panic("synthetic trial failure") }},
 				}
 			},
 			Reduce: func(_ int64, parts []any) *Result { return newResult("boom", "unreachable") },
 		},
 	}
-	_, err := e.RunParallel(context.Background(), 1, runner.Config{Parallelism: 4})
+	_, err := e.RunParallel(context.Background(), 1, runner.Config{Parallelism: 4}, nil)
 	if err == nil {
 		t.Fatal("expected error from panicking trial")
 	}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"lifeguard/internal/atlas"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/probe"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/topo"
@@ -93,6 +94,30 @@ type Monitor struct {
 
 	ticker  simclock.EventID
 	started bool
+
+	obs monitorObs
+}
+
+// monitorObs holds the monitor's metric handles; the zero value (all-nil
+// handles) is the uninstrumented state.
+type monitorObs struct {
+	rounds     *obs.Counter
+	outages    *obs.Counter
+	recoveries *obs.Counter
+}
+
+// Instrument registers the monitor's metrics with reg. A nil registry
+// leaves the monitor uninstrumented.
+func (m *Monitor) Instrument(reg *obs.Registry) {
+	reg.Describe("lifeguard_monitor_ping_rounds_total",
+		"monitoring rounds executed per watched (vantage point, target) pair")
+	reg.Describe("lifeguard_monitor_outages_detected_total",
+		"outages declared after FailThreshold consecutive failed rounds")
+	reg.Describe("lifeguard_monitor_recoveries_total",
+		"declared outages that subsequently healed")
+	m.obs.rounds = reg.Counter("lifeguard_monitor_ping_rounds_total")
+	m.obs.outages = reg.Counter("lifeguard_monitor_outages_detected_total")
+	m.obs.recoveries = reg.Counter("lifeguard_monitor_recoveries_total")
 }
 
 // New returns a monitor with no watched pairs.
@@ -156,6 +181,7 @@ func (m *Monitor) Round() {
 }
 
 func (m *Monitor) roundFor(k pairKey) {
+	m.obs.rounds.Inc()
 	ok := false
 	responded := false
 	for i := 0; i < m.cfg.PingsPerRound; i++ {
@@ -180,6 +206,7 @@ func (m *Monitor) roundFor(k pairKey) {
 	if ok {
 		if st.current != nil {
 			st.current.End = m.clk.Now()
+			m.obs.recoveries.Inc()
 			if m.OnRecovery != nil {
 				m.OnRecovery(st.current)
 			}
@@ -195,6 +222,7 @@ func (m *Monitor) roundFor(k pairKey) {
 	if st.consecFails == m.cfg.FailThreshold && st.current == nil {
 		o := &Outage{VP: k.vp, Target: k.target, Start: st.firstFail}
 		st.current = o
+		m.obs.outages.Inc()
 		m.History = append(m.History, o)
 		if m.OnOutage != nil {
 			m.OnOutage(o)

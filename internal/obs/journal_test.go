@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+func TestJournalRecordsInOrder(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 5; i++ {
+		j.Record(time.Duration(i)*time.Second, "bgp", "update", F("n", i))
+	}
+	if j.Len() != 5 || j.Dropped() != 0 {
+		t.Fatalf("len=%d dropped=%d, want 5/0", j.Len(), j.Dropped())
+	}
+	evs := j.Drain()
+	if len(evs) != 5 {
+		t.Fatalf("drained %d events, want 5", len(evs))
+	}
+	for i, e := range evs {
+		if e.VTime != time.Duration(i)*time.Second || e.Subsystem != "bgp" || e.Kind != "update" {
+			t.Fatalf("event %d out of order: %+v", i, e)
+		}
+		if len(e.Fields) != 1 || e.Fields[0] != (Field{Key: "n", Value: e.Fields[0].Value}) {
+			t.Fatalf("event %d fields mangled: %+v", i, e.Fields)
+		}
+	}
+	if j.Len() != 0 {
+		t.Fatalf("journal not empty after Drain")
+	}
+}
+
+func TestJournalRingEvictsOldest(t *testing.T) {
+	j := NewJournal(3)
+	for i := 0; i < 7; i++ {
+		j.Record(time.Duration(i), "sys", "tick")
+	}
+	if j.Dropped() != 4 {
+		t.Fatalf("dropped = %d, want 4", j.Dropped())
+	}
+	evs := j.Events()
+	if len(evs) != 3 {
+		t.Fatalf("kept %d events, want 3", len(evs))
+	}
+	for i, want := range []time.Duration{4, 5, 6} {
+		if evs[i].VTime != want {
+			t.Fatalf("ring kept wrong window: %+v", evs)
+		}
+	}
+	// Events must not clear; Drain after it still sees the window.
+	if got := len(j.Drain()); got != 3 {
+		t.Fatalf("Drain after Events returned %d events, want 3", got)
+	}
+}
+
+func TestJournalNilIsNoOp(t *testing.T) {
+	var j *Journal
+	j.Record(time.Second, "sys", "tick", F("a", 1))
+	if j.Enabled() || j.Len() != 0 || j.Cap() != 0 || j.Dropped() != 0 {
+		t.Fatalf("nil journal not inert")
+	}
+	if j.Drain() != nil || j.Events() != nil {
+		t.Fatalf("nil journal returned events")
+	}
+}
+
+func TestJournalDefaultCapacity(t *testing.T) {
+	if got := NewJournal(0).Cap(); got != DefaultJournalCapacity {
+		t.Fatalf("default capacity = %d, want %d", got, DefaultJournalCapacity)
+	}
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("lifeguard_test_ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("lifeguard_test_ops_total"); again != c {
+		t.Fatalf("re-registration returned a different handle")
+	}
+
+	g := r.Gauge("lifeguard_test_depth")
+	g.Set(10)
+	g.Add(-3)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("lifeguard_test_latency_seconds", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	m := findMetric(t, r, "lifeguard_test_latency_seconds")
+	// le semantics: 0.5 and 1 land in le=1; 1.5 in le=2; 3 in le=4; 100 overflows.
+	want := []Bucket{{1, 2}, {2, 3}, {4, 4}}
+	if !reflect.DeepEqual(m.Buckets, want) {
+		t.Fatalf("buckets = %+v, want %+v", m.Buckets, want)
+	}
+}
+
+func TestNilRegistryAndHandlesAreNoOps(t *testing.T) {
+	var r *Registry = Disabled
+	c := r.Counter("lifeguard_test_ops_total")
+	g := r.Gauge("lifeguard_test_depth")
+	h := r.Histogram("lifeguard_test_latency_seconds", []float64{1})
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("disabled registry handed out non-nil handles")
+	}
+	c.Inc()
+	c.Add(3)
+	g.Set(9)
+	g.Dec()
+	h.Observe(1.5)
+	r.Describe("x", "y")
+	r.Merge(New())
+	if !r.Snapshot().equal(Snapshot{}) {
+		t.Fatalf("disabled registry produced a non-empty snapshot")
+	}
+	if r.Enabled() {
+		t.Fatalf("nil registry claims Enabled")
+	}
+}
+
+func TestSnapshotSortedAndStable(t *testing.T) {
+	build := func() *Registry {
+		r := New()
+		// Registered deliberately out of order, with labels out of order.
+		r.Counter("lifeguard_zz_total")
+		r.Counter("lifeguard_aa_total").Add(2)
+		r.Counter("lifeguard_mm_total", L("reason", "loop"), L("plane", "v4"))
+		r.Counter("lifeguard_mm_total", L("plane", "v4"), L("reason", "drop")).Inc()
+		return r
+	}
+	s1, s2 := build().Snapshot(), build().Snapshot()
+	if !s1.equal(s2) {
+		t.Fatalf("same construction produced different snapshots:\n%+v\n%+v", s1, s2)
+	}
+	var prev string
+	for _, m := range s1.Metrics {
+		if k := m.key(); k <= prev {
+			t.Fatalf("snapshot not in sorted series-key order: %q after %q", k, prev)
+		} else {
+			prev = k
+		}
+	}
+	// Label order at the call site must not matter.
+	if s1.Metrics[1].key() != `lifeguard_mm_total{plane="v4",reason="drop"}` {
+		t.Fatalf("labels not canonicalized: %q", s1.Metrics[1].key())
+	}
+}
+
+func TestMergeFoldsByAddition(t *testing.T) {
+	trial := func(n int64) *Registry {
+		r := New()
+		r.Describe("lifeguard_test_ops_total", "ops")
+		r.Counter("lifeguard_test_ops_total").Add(n)
+		r.Gauge("lifeguard_test_routes").Add(n * 2)
+		h := r.Histogram("lifeguard_test_ms", []float64{1, 10})
+		h.Observe(float64(n))
+		return r
+	}
+	merge := func(order []int64) Snapshot {
+		m := New()
+		for _, n := range order {
+			m.Merge(trial(n))
+		}
+		return m.Snapshot()
+	}
+	a := merge([]int64{1, 5, 20})
+	b := merge([]int64{1, 5, 20})
+	if !a.equal(b) {
+		t.Fatalf("identical merge sequences differ")
+	}
+	got := findMetricIn(t, a, "lifeguard_test_ops_total")
+	if got.Value != 26 {
+		t.Fatalf("merged counter = %d, want 26", got.Value)
+	}
+	if g := findMetricIn(t, a, "lifeguard_test_routes"); g.Value != 52 {
+		t.Fatalf("merged gauge = %d, want 52", g.Value)
+	}
+	h := findMetricIn(t, a, "lifeguard_test_ms")
+	if h.Count != 3 || h.Sum != 26 {
+		t.Fatalf("merged histogram count=%d sum=%v, want 3/26", h.Count, h.Sum)
+	}
+	if want := []Bucket{{1, 1}, {10, 2}}; !reflect.DeepEqual(h.Buckets, want) {
+		t.Fatalf("merged buckets = %+v, want %+v", h.Buckets, want)
+	}
+	if a.Help["lifeguard_test_ops_total"] != "ops" {
+		t.Fatalf("help text not merged")
+	}
+}
+
+func TestRegistrationPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"bad metric name", func(r *Registry) { r.Counter("lifeguard bad") }},
+		{"bad label key", func(r *Registry) { r.Counter("lifeguard_x_total", L("0bad", "v")) }},
+		{"duplicate label key", func(r *Registry) { r.Counter("lifeguard_x_total", L("a", "1"), L("a", "2")) }},
+		{"kind clash", func(r *Registry) { r.Counter("lifeguard_x"); r.Gauge("lifeguard_x") }},
+		{"bucket clash", func(r *Registry) {
+			r.Histogram("lifeguard_h", []float64{1, 2})
+			r.Histogram("lifeguard_h", []float64{1, 3})
+		}},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("lifeguard_h2", []float64{2, 1}) }},
+		{"empty buckets", func(r *Registry) { r.Histogram("lifeguard_h3", nil) }},
+		{"counter decrement", func(r *Registry) { r.Counter("lifeguard_c_total").Add(-1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f(New())
+		})
+	}
+}
+
+// equal compares snapshots via their deterministic JSON rendering.
+func (s Snapshot) equal(other Snapshot) bool {
+	var a, b bytes.Buffer
+	if err := s.WriteJSON(&a); err != nil {
+		return false
+	}
+	if err := other.WriteJSON(&b); err != nil {
+		return false
+	}
+	return bytes.Equal(a.Bytes(), b.Bytes())
+}
+
+func findMetric(t *testing.T, r *Registry, name string) Metric {
+	t.Helper()
+	return findMetricIn(t, r.Snapshot(), name)
+}
+
+func findMetricIn(t *testing.T, s Snapshot, name string) Metric {
+	t.Helper()
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	t.Fatalf("metric %s not in snapshot", name)
+	return Metric{}
+}

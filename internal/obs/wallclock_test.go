@@ -1,0 +1,52 @@
+package obs
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestNoWallClockInCore asserts the obs core — registry, journal, and the
+// encoders, everything in this directory — contains zero wall-clock call
+// sites. The package may name the time.Duration type (journal vtimes),
+// but any time.Now/Sleep/After/… here would let instrumentation perturb
+// what it observes. Wall-clock reads are quarantined in the obshttp
+// subpackage, which carries its own simclockcheck allowlist entry; this
+// test guards the boundary from the inside, independent of lglint.
+func TestNoWallClockInCore(t *testing.T) {
+	forbidden := map[string]bool{
+		"Now": true, "Since": true, "Until": true, "Sleep": true,
+		"After": true, "AfterFunc": true, "Tick": true,
+		"NewTimer": true, "NewTicker": true,
+	}
+	files, err := filepath.Glob("*.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no Go sources found; test must run from the package directory")
+	}
+	fset := token.NewFileSet()
+	for _, path := range files {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "time" && forbidden[sel.Sel.Name] {
+				t.Errorf("%s: wall-clock call time.%s in obs core", fset.Position(sel.Pos()), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

@@ -35,6 +35,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"time"
+
+	"lifeguard/internal/obs"
 )
 
 // ErrTimeout marks a trial that exceeded Config.Timeout.
@@ -52,6 +54,38 @@ type Config struct {
 	// goroutine is abandoned (it finishes into the void) and the trial
 	// is reported as a *TrialError wrapping ErrTimeout.
 	Timeout time.Duration
+	// Obs, when non-nil, receives process-level runner metrics: trial
+	// counts and per-trial wall-clock durations. These measure the host
+	// machine, not the simulation, so they belong in a process registry —
+	// never in the deterministic per-trial registries that experiments
+	// merge.
+	Obs *obs.Registry
+}
+
+// runnerObs holds the pool's metric handles; the zero value (all-nil) is
+// the uninstrumented state.
+type runnerObs struct {
+	trials   *obs.Counter
+	failures *obs.Counter
+	seconds  *obs.Histogram
+}
+
+// trialSecondsBuckets spans quick unit-style trials through multi-minute
+// suite simulations.
+var trialSecondsBuckets = []float64{0.001, 0.01, 0.1, 1, 10, 60, 600}
+
+func newRunnerObs(reg *obs.Registry) runnerObs {
+	reg.Describe("lifeguard_runner_trials_total",
+		"trials executed by the pool (including failed ones)")
+	reg.Describe("lifeguard_runner_trial_failures_total",
+		"trials that returned an error, panicked, or timed out")
+	reg.Describe("lifeguard_runner_trial_seconds",
+		"per-trial wall-clock duration in seconds (host time, not sim time)")
+	return runnerObs{
+		trials:   reg.Counter("lifeguard_runner_trials_total"),
+		failures: reg.Counter("lifeguard_runner_trial_failures_total"),
+		seconds:  reg.Histogram("lifeguard_runner_trial_seconds", trialSecondsBuckets),
+	}
 }
 
 // Workers reports the effective worker ceiling: Parallelism, or
@@ -106,6 +140,7 @@ func Map[T any](ctx context.Context, n int, cfg Config, trial func(ctx context.C
 	}
 	errs := make([]error, n)
 
+	ro := newRunnerObs(cfg.Obs)
 	workers := cfg.workers(n)
 	if workers == 1 {
 		// Sequential reference path: no goroutines, stop at the first
@@ -114,7 +149,7 @@ func Map[T any](ctx context.Context, n int, cfg Config, trial func(ctx context.C
 			if err := ctx.Err(); err != nil {
 				return results, fmt.Errorf("runner: %w", err)
 			}
-			v, err := runTrial(ctx, cfg.Timeout, i, trial)
+			v, err := runTrial(ctx, cfg.Timeout, ro, i, trial)
 			results[i] = v
 			if err != nil {
 				return results, err
@@ -132,7 +167,7 @@ func Map[T any](ctx context.Context, n int, cfg Config, trial func(ctx context.C
 		go func() {
 			defer wg.Done()
 			for i := range feed {
-				v, err := runTrial(poolCtx, cfg.Timeout, i, trial)
+				v, err := runTrial(poolCtx, cfg.Timeout, ro, i, trial)
 				// Distinct indices per trial: no write overlaps.
 				results[i] = v
 				errs[i] = err
@@ -201,7 +236,15 @@ func firstError(errs []error) error {
 
 // runTrial executes one trial with panic capture and, when configured,
 // a wall-clock watchdog.
-func runTrial[T any](ctx context.Context, timeout time.Duration, i int, trial func(ctx context.Context, trial int) (T, error)) (T, error) {
+func runTrial[T any](ctx context.Context, timeout time.Duration, ro runnerObs, i int, trial func(ctx context.Context, trial int) (T, error)) (v T, err error) {
+	start := time.Now()
+	defer func() {
+		ro.trials.Inc()
+		if err != nil {
+			ro.failures.Inc()
+		}
+		ro.seconds.Observe(time.Since(start).Seconds())
+	}()
 	type outcome struct {
 		v   T
 		err error

@@ -30,6 +30,7 @@ import (
 
 	"lifeguard/internal/bgp"
 	"lifeguard/internal/dataplane"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/probe"
 	"lifeguard/internal/simclock"
 	"lifeguard/internal/topo"
@@ -59,6 +60,10 @@ type (
 	FailureID = dataplane.FailureID
 	// BGPConfig tunes protocol dynamics (MRAI, propagation delay).
 	BGPConfig = bgp.Config
+	// ObsRegistry is the deterministic metrics registry (internal/obs).
+	ObsRegistry = obs.Registry
+	// ObsJournal is the sim-time event journal (internal/obs).
+	ObsJournal = obs.Journal
 	// OriginConfig controls how an AS announces one of its prefixes
 	// (patterns, per-neighbor poisons, withholding, communities).
 	OriginConfig = bgp.OriginConfig
@@ -106,6 +111,11 @@ type Network struct {
 	// Gen describes the synthetic Internet's AS roles; nil for custom
 	// topologies.
 	Gen *topogen.Result
+	// Obs is the metrics registry all of the network's subsystems report
+	// into; nil when assembly ran uninstrumented.
+	Obs *obs.Registry
+	// Journal is the sim-time event journal; nil when disabled.
+	Journal *obs.Journal
 }
 
 // NetworkOptions tunes network assembly.
@@ -118,6 +128,15 @@ type NetworkOptions struct {
 	OriginateBlocks []topo.ASN
 	// SkipConverge leaves initial convergence to the caller.
 	SkipConverge bool
+	// Obs, when non-nil, instruments every subsystem of the assembled
+	// network (BGP engine, data plane, prober, and any System wired over
+	// it). Metrics are a pure function of the simulation, so enabling
+	// them cannot change behaviour — only add one nil-check branch per
+	// instrumented site.
+	Obs *obs.Registry
+	// Journal, when non-nil, receives sim-time event records from a
+	// System wired over the network.
+	Journal *obs.Journal
 }
 
 // GenerateInternet builds a synthetic Internet (see topogen) and assembles
@@ -150,6 +169,9 @@ func AssembleNetwork(top *topo.Topology, o NetworkOptions) (*Network, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = o.Seed
 	}
+	if cfg.Obs == nil {
+		cfg.Obs = o.Obs
+	}
 	eng := bgp.New(top, clk, cfg)
 	blocks := o.OriginateBlocks
 	if len(blocks) == 0 {
@@ -162,9 +184,14 @@ func AssembleNetwork(top *topo.Topology, o NetworkOptions) (*Network, error) {
 		return nil, fmt.Errorf("lifeguard: initial BGP convergence did not complete")
 	}
 	pl := dataplane.New(top, eng)
+	pl.Instrument(o.Obs)
+	pr := probe.New(top, pl, clk, probe.Config{})
+	pr.Instrument(o.Obs)
 	return &Network{
 		Top: top, Clk: clk, Eng: eng, Plane: pl,
-		Prober: probe.New(top, pl, clk, probe.Config{}),
+		Prober:  pr,
+		Obs:     o.Obs,
+		Journal: o.Journal,
 	}, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"lifeguard/internal/core/isolation"
 	"lifeguard/internal/core/remedy"
 	"lifeguard/internal/monitor"
+	"lifeguard/internal/obs"
 	"lifeguard/internal/topo"
 )
 
@@ -127,6 +128,12 @@ func NewSystem(n *Network, cfg Config) *System {
 	s.Isolator = isolation.New(n.Top, n.Prober, s.Atlas, n.Clk, cfg.Isolation)
 	s.Remedy = remedy.New(n.Eng, n.Prober, n.Clk, cfg.Remedy)
 
+	// A nil registry makes every Instrument call a no-op, so wiring is
+	// unconditional.
+	s.Monitor.Instrument(n.Obs)
+	s.Isolator.Instrument(n.Obs)
+	s.Remedy.Instrument(n.Obs)
+
 	s.Monitor.OnOutage = s.handleOutage
 	s.Monitor.OnRecovery = func(o *monitor.Outage) {
 		s.log(Event{At: n.Clk.Now(), Kind: EventRecovered, VP: o.VP, Target: o.Target})
@@ -152,7 +159,22 @@ func (s *System) Stop() {
 	s.Atlas.Stop()
 }
 
-func (s *System) log(e Event) { s.History = append(s.History, e) }
+func (s *System) log(e Event) {
+	s.History = append(s.History, e)
+	if j := s.Net.Journal; j.Enabled() {
+		fields := []obs.Field{
+			obs.F("vp", e.VP),
+			obs.F("target", e.Target),
+		}
+		if e.Kind == EventRepair {
+			fields = append(fields, obs.F("action", e.Action), obs.F("avoided", e.Avoided))
+		}
+		if e.Kind == EventUnpoison {
+			fields = append(fields, obs.F("avoided", e.Avoided))
+		}
+		j.Record(e.At, "system", e.Kind.String(), fields...)
+	}
+}
 
 // handleOutage runs the paper's §4.2 pipeline: isolate now, then decide to
 // poison once the measurements would have completed and the outage has aged
