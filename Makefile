@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint race debug-test exp-smoke obs-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
+.PHONY: all build test lint race debug-test exp-smoke obs-smoke chaos-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
 
 all: build test lint
 
@@ -68,6 +68,20 @@ obs-smoke:
 	diff $(BIN)/obs_seq.json $(BIN)/obs_par.json
 	@grep -q lifeguard_bgp_updates_sent_total $(BIN)/obs_seq.json
 	@echo "obs-smoke: report unchanged by -obs; snapshot byte-identical across parallelism"
+
+# chaos-smoke proves the fault-injection subsystem's contracts end to end:
+# a fixed-seed lgchaos sweep must uphold every invariant (the CLI exits 3
+# on violations, failing the target) and write byte-identical reports and
+# metrics snapshots sequentially and on 4 workers.
+chaos-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lgchaos ./cmd/lgchaos
+	$(BIN)/lgchaos -seed 3 -trials 3 -faults 6 -intensity 1.5 -parallel 1 -obs $(BIN)/chaos_seq.json >$(BIN)/chaos_seq.txt
+	$(BIN)/lgchaos -seed 3 -trials 3 -faults 6 -intensity 1.5 -parallel 4 -obs $(BIN)/chaos_par.json >$(BIN)/chaos_par.txt
+	diff $(BIN)/chaos_seq.txt $(BIN)/chaos_par.txt
+	diff $(BIN)/chaos_seq.json $(BIN)/chaos_par.json
+	@grep -q lifeguard_chaos_faults_injected_total $(BIN)/chaos_seq.json
+	@echo "chaos-smoke: zero violations; reports and snapshots byte-identical across parallelism"
 
 # A quick fuzz pass over the BGP-4 wire codec; CI runs this on every push.
 fuzz-smoke:

@@ -1,0 +1,113 @@
+package bgp
+
+import (
+	"testing"
+	"time"
+
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+)
+
+func TestOriginsEnumeration(t *testing.T) {
+	e, _ := newEngine(t, lineTopo(t))
+	p1 := topo.Block(1)
+	p2 := topo.ProductionPrefix(1)
+	e.Originate(1, p2)
+	e.Announce(1, p1, OriginConfig{Pattern: topo.Path{1, 1, 1}})
+	converge(t, e)
+
+	got := e.Origins(1)
+	if len(got) != 2 {
+		t.Fatalf("Origins(1) = %d entries, want 2", len(got))
+	}
+	// Sorted prefix order, configs round-trip.
+	if got[0].Prefix != p1 || got[1].Prefix != p2 {
+		t.Fatalf("order = %v, %v", got[0].Prefix, got[1].Prefix)
+	}
+	if !got[0].Config.Pattern.Equal(topo.Path{1, 1, 1}) {
+		t.Fatalf("pattern = %v", got[0].Config.Pattern)
+	}
+	if got[1].Config.Pattern != nil {
+		t.Fatalf("plain origination has pattern %v", got[1].Config.Pattern)
+	}
+
+	// The returned config is a deep copy: mutating it must not leak into
+	// the installed policy.
+	got[0].Config.Pattern[1] = 9
+	after := e.Origins(1)
+	if !after[0].Config.Pattern.Equal(topo.Path{1, 1, 1}) {
+		t.Fatal("Origins aliases the installed config")
+	}
+
+	if e.Origins(2) != nil && len(e.Origins(2)) != 0 {
+		t.Fatalf("Origins(2) = %v, want empty", e.Origins(2))
+	}
+	if e.Origins(99) != nil {
+		t.Fatal("Origins(unknown) != nil")
+	}
+
+	// Withdraw-all then replay from the enumeration restores the same
+	// loc-RIBs — the router-crash/restart contract chaos relies on.
+	before, _ := e.BestRoute(4, p1)
+	for _, o := range e.Origins(1) {
+		e.Withdraw(1, o.Prefix)
+	}
+	converge(t, e)
+	if _, ok := e.BestRoute(4, p1); ok {
+		t.Fatal("route survives withdraw-all")
+	}
+	e.Announce(1, p1, OriginConfig{Pattern: topo.Path{1, 1, 1}})
+	e.Announce(1, p2, OriginConfig{})
+	converge(t, e)
+	restored, ok := e.BestRoute(4, p1)
+	if !ok || !restored.Path.Equal(before.Path) {
+		t.Fatalf("restored path %v, want %v", restored, before)
+	}
+}
+
+func TestSetLinkExtraDelay(t *testing.T) {
+	top := lineTopo(t)
+
+	// Convergence time of a fresh origination with and without an extra
+	// delay on the 2–3 link; the slowed run must finish strictly later.
+	run := func(extra time.Duration) time.Duration {
+		clk := simclock.New()
+		e := New(top, clk, Config{Seed: 42})
+		if extra > 0 {
+			e.SetLinkExtraDelay(2, 3, extra)
+		}
+		e.Originate(1, topo.ProductionPrefix(1))
+		converge(t, e)
+		return clk.Now()
+	}
+	base := run(0)
+	slow := run(500 * time.Millisecond)
+	if slow <= base {
+		t.Fatalf("delayed convergence at %v, baseline %v", slow, base)
+	}
+	if slow < base+500*time.Millisecond {
+		t.Fatalf("delay not applied: %v vs %v", slow, base)
+	}
+
+	// Removing the delay restores the exact baseline timeline (the rng
+	// stream is untouched by install/remove).
+	clk := simclock.New()
+	e := New(top, clk, Config{Seed: 42})
+	e.SetLinkExtraDelay(2, 3, time.Second)
+	e.SetLinkExtraDelay(2, 3, 0)
+	if d := e.LinkExtraDelay(2, 3); d != 0 {
+		t.Fatalf("LinkExtraDelay = %v after removal", d)
+	}
+	e.Originate(1, topo.ProductionPrefix(1))
+	converge(t, e)
+	if clk.Now() != base {
+		t.Fatalf("timeline shifted after install+remove: %v vs %v", clk.Now(), base)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLinkExtraDelay on non-adjacent ASes did not panic")
+		}
+	}()
+	e.SetLinkExtraDelay(1, 4, time.Second)
+}

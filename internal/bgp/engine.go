@@ -39,6 +39,12 @@ type Engine struct {
 	// lastDelivery enforces in-order message delivery per directed AS
 	// pair despite jittered propagation delays.
 	lastDelivery map[[2]topo.ASN]time.Duration
+
+	// extraDelay holds per-directed-pair additional propagation delay
+	// (chaos "control-plane update delay" faults). It is added after the
+	// jitter draw so installing or removing a delay never shifts the
+	// engine's rng stream.
+	extraDelay map[[2]topo.ASN]time.Duration
 }
 
 // New builds an engine over the topology. No routes exist until Originate or
@@ -54,6 +60,7 @@ func New(top *topo.Topology, clk *simclock.Scheduler, cfg Config) *Engine {
 		obs:          newEngineObs(cfg.Obs),
 		UpdatesSent:  make(map[topo.ASN]int),
 		lastDelivery: make(map[[2]topo.ASN]time.Duration),
+		extraDelay:   make(map[[2]topo.ASN]time.Duration),
 	}
 	for _, asn := range top.ASNs() {
 		e.speakers[asn] = newSpeaker(e, asn)
@@ -174,6 +181,59 @@ func (e *Engine) WithdrawErr(asn topo.ASN, prefix netip.Prefix) error {
 	return nil
 }
 
+// OriginAnnouncement is one locally-originated prefix and its announcement
+// policy, as enumerated by Origins.
+type OriginAnnouncement struct {
+	Prefix netip.Prefix
+	Config OriginConfig
+}
+
+// Origins enumerates asn's locally-originated prefixes in sorted prefix
+// order, each with a deep copy of its installed (sanitized) config. Chaos
+// router-crash faults use it to capture the announcement set before a
+// withdraw-all and replay it verbatim on restart; nil for an unknown AS.
+func (e *Engine) Origins(asn topo.ASN) []OriginAnnouncement {
+	s := e.speakers[asn]
+	if s == nil {
+		return nil
+	}
+	prefixes := make([]netip.Prefix, 0, len(s.origin))
+	for p := range s.origin {
+		prefixes = append(prefixes, p)
+	}
+	sortPrefixes(prefixes)
+	out := make([]OriginAnnouncement, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = OriginAnnouncement{Prefix: p, Config: s.origin[p].cfg.sanitized()}
+	}
+	return out
+}
+
+// SetLinkExtraDelay adds d of control-plane propagation delay to every BGP
+// message crossing the a–b adjacency (both directions); d = 0 removes the
+// slowdown. The delay is applied after the per-message jitter draw, so
+// toggling it never perturbs the engine's rng stream — chaos "update delay"
+// faults compose with otherwise-identical runs. Panics if a and b are not
+// adjacent, matching SetAdjacencyDown.
+func (e *Engine) SetLinkExtraDelay(a, b topo.ASN, d time.Duration) {
+	if !e.top.Adjacent(a, b) {
+		panic(fmt.Sprintf("bgp: SetLinkExtraDelay(%d, %d): not adjacent", a, b))
+	}
+	for _, key := range [][2]topo.ASN{{a, b}, {b, a}} {
+		if d <= 0 {
+			delete(e.extraDelay, key)
+		} else {
+			e.extraDelay[key] = d
+		}
+	}
+}
+
+// LinkExtraDelay returns the extra control-plane delay currently installed
+// on the a→b direction (zero when none).
+func (e *Engine) LinkExtraDelay(a, b topo.ASN) time.Duration {
+	return e.extraDelay[[2]topo.ASN{a, b}]
+}
+
 // BestRoute returns asn's selected route for an exact prefix.
 func (e *Engine) BestRoute(asn topo.ASN, prefix netip.Prefix) (*Route, bool) {
 	s := e.speakers[asn]
@@ -246,6 +306,7 @@ func (e *Engine) deliver(from, to topo.ASN, u update) {
 	e.obs.updatesSent.Inc()
 	at := e.clk.Now() + e.jittered(e.cfg.PropDelay, e.cfg.PropJitter)
 	key := [2]topo.ASN{from, to}
+	at += e.extraDelay[key]
 	if last := e.lastDelivery[key]; at <= last {
 		at = last + time.Microsecond
 	}

@@ -122,6 +122,17 @@ type Rule struct {
 	// TransitOnly exempts packets destined to the failed AS itself, for
 	// modelling faults that only affect through-traffic.
 	TransitOnly bool
+	// DropProb, when in (0, 1), makes the rule probabilistic: a matching
+	// packet is dropped only for that fraction of packets. The decision is
+	// a pure hash of (ProbSeed, per-packet sequence number), so a run is
+	// still a deterministic replay — the same packet stream meets the same
+	// fate regardless of rule iteration order or how many routers of the
+	// matched AS the packet crosses. Zero means always drop (the classic
+	// deterministic rule); >= 1 also always drops.
+	DropProb float64
+	// ProbSeed decorrelates concurrent probabilistic rules; two rules with
+	// different seeds drop independent packet subsets.
+	ProbSeed uint64
 }
 
 // BlackholeAS returns a rule dropping all traffic forwarded by asn.
@@ -147,6 +158,13 @@ func DropRouterLink(a, b topo.RouterID) Rule {
 	return Rule{FromRouter: a, ToRouter: b, HasLink: true}
 }
 
+// LossyAS returns a probabilistic rule: asn drops each forwarded packet
+// independently with probability prob (seed decorrelates concurrent lossy
+// rules). See Rule.DropProb for the determinism contract.
+func LossyAS(asn topo.ASN, prob float64, seed uint64) Rule {
+	return Rule{AtAS: asn, DropProb: prob, ProbSeed: seed}
+}
+
 // Plane forwards packets. It is cheap to construct and holds no per-packet
 // state, so a single Plane serves an entire simulation.
 type Plane struct {
@@ -154,6 +172,10 @@ type Plane struct {
 	rib      RIB
 	failures map[FailureID]Rule
 	nextID   FailureID
+	// seq numbers every packet injected via Forward; probabilistic rules
+	// hash it so their verdicts are per-packet, order-independent pure
+	// functions (see Rule.DropProb).
+	seq uint64
 	// pathCache memoizes intraPath results. Intra-AS shortest paths are a
 	// pure function of the immutable topology, and probes re-walk the same
 	// router pairs constantly, so the BFS (and its per-hop allocations)
@@ -196,6 +218,13 @@ func New(top *topo.Topology, rib RIB) *Plane {
 }
 
 // AddFailure installs a failure rule and returns its handle.
+//
+// ID lifecycle contract: FailureIDs are allocated from a counter that is
+// monotone over the Plane's whole lifetime. Neither RemoveFailure nor
+// ClearFailures ever recycles an ID, so a stale handle kept across heavy
+// inject/heal churn (the chaos engine's steady state) can never silently
+// alias a newer, unrelated rule — RemoveFailure on a freed ID reports
+// false forever. dataplane's TestFailureIDsNeverReused pins this.
 func (pl *Plane) AddFailure(r Rule) FailureID {
 	pl.nextID++
 	pl.failures[pl.nextID] = r
@@ -203,6 +232,7 @@ func (pl *Plane) AddFailure(r Rule) FailureID {
 }
 
 // RemoveFailure uninstalls a rule; it reports whether the rule existed.
+// The freed ID is retired, never reused (see AddFailure).
 func (pl *Plane) RemoveFailure(id FailureID) bool {
 	if _, ok := pl.failures[id]; !ok {
 		return false
@@ -211,13 +241,26 @@ func (pl *Plane) RemoveFailure(id FailureID) bool {
 	return true
 }
 
-// ClearFailures removes all rules.
+// ClearFailures removes all rules. The ID counter is not reset: handles
+// freed here stay retired (see AddFailure).
 func (pl *Plane) ClearFailures() { clear(pl.failures) }
+
+// Failure returns the rule installed under id, if it is still active.
+// Chaos healing uses it to verify a handle names the rule the caller
+// thinks it does before removing it.
+func (pl *Plane) Failure(id FailureID) (Rule, bool) {
+	r, ok := pl.failures[id]
+	return r, ok
+}
+
+// ActiveFailures reports the number of installed rules.
+func (pl *Plane) ActiveFailures() int { return len(pl.failures) }
 
 // matchCtx carries the packet context rules are evaluated against.
 type matchCtx struct {
 	pkt   Packet
 	dstAS topo.ASN // owner of the destination address block
+	seq   uint64   // per-packet sequence number for probabilistic rules
 }
 
 func (pl *Plane) dropAtRouter(c *matchCtx, r topo.RouterID) bool {
@@ -276,7 +319,24 @@ func (r *Rule) pktMatch(c *matchCtx) bool {
 	if r.SrcWithin.IsValid() && !r.SrcWithin.Contains(c.pkt.Src) {
 		return false
 	}
+	if r.DropProb > 0 && r.DropProb < 1 {
+		// Threshold comparison on a hash of (seed, packet seq) mapped to
+		// [0, 1): deterministic per packet, independent across rules with
+		// different seeds, and identical at every router the packet
+		// crosses (per-packet loss, not per-hop loss).
+		u := float64(splitmix64(r.ProbSeed^c.seq)>>11) / (1 << 53)
+		return u < r.DropProb
+	}
 	return true
+}
+
+// splitmix64 is the SplitMix64 finalizer — a cheap, high-quality bijective
+// hash used to turn (rule seed, packet sequence) into a drop verdict.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
 }
 
 // Forward injects pkt at router "from" (the sender's gateway) and walks it
@@ -295,7 +355,8 @@ func (pl *Plane) forward(from topo.RouterID, pkt Packet) Result {
 	if ttl <= 0 {
 		ttl = DefaultTTL
 	}
-	c := &matchCtx{pkt: pkt}
+	pl.seq++
+	c := &matchCtx{pkt: pkt, seq: pl.seq}
 	if owner, ok := topo.OwnerOf(pkt.Dst); ok {
 		c.dstAS = owner
 	}

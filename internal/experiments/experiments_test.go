@@ -155,6 +155,22 @@ func TestBaselinesShape(t *testing.T) {
 	}
 }
 
+func TestChaosShape(t *testing.T) {
+	r := Chaos(1)
+	// The hard contract: the invariant checker saw nothing — no loops, no
+	// RIB inconsistencies, every timeline converged back to baseline.
+	inRange(t, r, "violations_total", 0, 0)
+	inRange(t, r, "faults_total", 24, 24) // 8 faults × 3 intensities
+	// The monitor saw real outages and the repair loop engaged.
+	inRange(t, r, "episodes_total", 8, 80)
+	inRange(t, r, "poisons_total", 2, 30)
+	inRange(t, r, "repaired_total", 2, 60)
+	// Every episode eventually recovered (faults heal and barriers
+	// demand reconvergence), on a minutes timescale.
+	inRange(t, r, "recovered_frac", 0.95, 1.0)
+	inRange(t, r, "ttr_mean_min", 0.5, 10)
+}
+
 func TestAllRunnableAndRendered(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep is covered by individual shape tests")
@@ -178,8 +194,11 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("bogus ID resolved")
 	}
-	if len(All()) != 12 {
-		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	if _, ok := ByID("chaos"); !ok {
+		t.Fatal("chaos missing")
+	}
+	if len(All()) != 13 {
+		t.Fatalf("expected 13 experiments, got %d", len(All()))
 	}
 }
 

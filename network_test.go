@@ -1,9 +1,13 @@
 package lifeguard_test
 
 import (
+	"net/netip"
 	"testing"
+	"time"
 
 	"lifeguard"
+	"lifeguard/internal/core/isolation"
+	"lifeguard/internal/dataplane"
 	"lifeguard/internal/topo"
 )
 
@@ -101,4 +105,113 @@ func TestInjectAndHealFailureRoundTrip(t *testing.T) {
 	if !n.Prober.Ping(src, dst).OK {
 		t.Fatal("ping still failing after heal")
 	}
+}
+
+// TestHealAdjacencyValidatesIDs pins the satellite contract: HealAdjacency
+// only heals when handed the exact pair of directed drop rules that
+// FailAdjacency installed for that adjacency, and a mismatch changes
+// nothing (no partial heal).
+func TestHealAdjacencyValidatesIDs(t *testing.T) {
+	n := fig2Network(t)
+	ids := n.FailAdjacency(asB, asA)
+	unrelated := n.InjectFailure(lifeguard.BlackholeAS(asC))
+	active := n.Plane.ActiveFailures()
+
+	bad := [][2]lifeguard.FailureID{
+		{ids[0], unrelated},        // second id is not a link rule
+		{unrelated, ids[1]},        // first id is not a link rule
+		{ids[0], ids[0]},           // same direction twice
+		{ids[0] + 1000, ids[1]},    // first id unknown
+		{ids[0], ids[1] + 1000},    // second id unknown
+		{unrelated, unrelated + 1}, // neither belongs to the adjacency
+	}
+	for _, pair := range bad {
+		if n.HealAdjacency(asB, asA, pair) {
+			t.Fatalf("HealAdjacency accepted mismatched ids %v", pair)
+		}
+		if got := n.Plane.ActiveFailures(); got != active {
+			t.Fatalf("partial heal: %d active failures after rejected ids %v, want %d",
+				got, pair, active)
+		}
+		if !n.Eng.AdjacencyDown(topo.ASN(asB), topo.ASN(asA)) {
+			t.Fatalf("session restored by rejected ids %v", pair)
+		}
+	}
+	// Right ids against the wrong adjacency must also be rejected.
+	if n.HealAdjacency(asB, asC, ids) {
+		t.Fatal("HealAdjacency healed the wrong adjacency")
+	}
+
+	// The matching pair heals — in either order.
+	if !n.HealAdjacency(asB, asA, [2]lifeguard.FailureID{ids[1], ids[0]}) {
+		t.Fatal("HealAdjacency rejected the correct (swapped) pair")
+	}
+	if n.Eng.AdjacencyDown(topo.ASN(asB), topo.ASN(asA)) {
+		t.Fatal("session still down after heal")
+	}
+	if got := n.Plane.ActiveFailures(); got != active-2 {
+		t.Fatalf("%d active failures after heal, want %d", got, active-2)
+	}
+	// Healing twice fails: the ids died with the first heal.
+	if n.HealAdjacency(asB, asA, ids) {
+		t.Fatal("HealAdjacency healed twice with the same ids")
+	}
+}
+
+// TestUnidirectionalForwardFailureEndToEnd commits the PAPER.md §4 scenario
+// end to end through the public API: the forward direction across the B–A
+// adjacency dies (packets crossing B→A vanish) while A→B keeps working.
+// The monitor must flag the outage and isolation must classify it as a
+// *forward* failure localized to the far side of the broken crossing.
+func TestUnidirectionalForwardFailureEndToEnd(t *testing.T) {
+	n := fig2Network(t)
+	target := n.RouterAddr(n.Hub(asE))
+	sys := lifeguard.NewSystem(n, lifeguard.Config{
+		Origin:  asO,
+		VPs:     []lifeguard.RouterID{n.Hub(asO), n.Hub(asC)},
+		Targets: []netip.Addr{target},
+		// Observer mode: this test pins detection + classification; the
+		// repair path is covered by TestEndToEndRepairLifecycle.
+		DisableAutoRepair: true,
+	})
+	sys.Start()
+	n.Clk.RunFor(3 * time.Minute) // healthy baseline
+
+	// O's traffic to E crosses O→B→A→E; replies come back E→A→B→O. Kill
+	// only the B→A crossing: forward dead, reverse alive.
+	fid := n.InjectFailure(lifeguard.DropASLink(asB, asA))
+	// The reverse direction really is alive: a raw packet from E still
+	// reaches O (a Ping would round-trip through the dead crossing).
+	res := n.Plane.Forward(n.Hub(asE), dataplane.Packet{
+		Src: n.RouterAddr(n.Hub(asE)), Dst: n.RouterAddr(n.Hub(asO)),
+	})
+	if !res.Delivered() {
+		t.Fatalf("reverse direction should be alive, got %v", res.Reason)
+	}
+	n.Clk.RunFor(20 * time.Minute)
+
+	if len(sys.EventsOfKind(lifeguard.EventOutage)) == 0 {
+		t.Fatal("monitor did not detect the forward-only failure")
+	}
+	isolated := sys.EventsOfKind(lifeguard.EventIsolated)
+	if len(isolated) == 0 {
+		t.Fatal("no isolation ran")
+	}
+	rep := isolated[0].Report
+	if rep.Direction != isolation.Forward {
+		t.Fatalf("direction = %v, want forward (B→A dead, A→B alive)", rep.Direction)
+	}
+	if rep.Blamed != topo.ASN(asA) {
+		t.Fatalf("blamed AS%d, want AS%d (far side of the dead crossing)", rep.Blamed, asA)
+	}
+	if rep.BlamedLink == nil || rep.BlamedLink[0] != topo.ASN(asA) || rep.BlamedLink[1] != topo.ASN(asB) {
+		t.Fatalf("blamed link = %v, want [A B]", rep.BlamedLink)
+	}
+	// The working (reverse) direction was actually measured.
+	if len(rep.WorkingPath) == 0 {
+		t.Fatal("working-direction path missing from the report")
+	}
+
+	n.HealFailure(fid)
+	sys.Stop()
 }
