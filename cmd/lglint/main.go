@@ -1,4 +1,4 @@
-// Command lglint is the repository's vet tool: five custom analyzers that
+// Command lglint is the repository's vet tool: nine custom analyzers that
 // enforce LIFEGUARD's determinism and concurrency invariants at compile
 // time, complementing the runtime checks in determinism_test.go and
 // internal/bgp/invariants_test.go.
@@ -7,18 +7,38 @@
 // build cache with full type information:
 //
 //	go build -o bin/lglint ./cmd/lglint
-//	go vet -vettool=bin/lglint ./...     # all five analyzers
+//	go vet -vettool=bin/lglint ./...     # all nine analyzers
 //	go vet -vettool=bin/lglint -maporder ./...   # just one
 //
 // or simply `make lint`, which also runs the standard vet passes.
 //
-// Analyzers:
+// It also runs standalone, with output modes and fixes the vet protocol
+// has no room for:
+//
+//	bin/lglint ./...                 # plain findings, exit 1 if any
+//	bin/lglint -json ./...           # machine-readable findings
+//	bin/lglint -sarif ./... > l.sarif   # for github/codeql-action/upload-sarif
+//	bin/lglint -github ./...         # ::error workflow annotations
+//	bin/lglint -fix ./...            # apply suggested fixes
+//	bin/lglint -fix -dry-run ./...   # preview fixes as unified diffs
+//
+// Standalone exit codes: 0 no findings, 1 findings reported, 2 usage or
+// load error.
+//
+// Per-package analyzers:
 //
 //	simclockcheck  no wall-clock time outside the allowlist (use simclock)
 //	seededrand     no global math/rand or crypto/rand (inject *rand.Rand)
 //	maporder       no order-sensitive output from map iteration
 //	lockcopyplus   no lock-bearing structs moved by value in signatures
 //	valleyfree     export policy must guard both sides of the valley-free rule
+//
+// Cross-package analyzers (facts flow along the import DAG):
+//
+//	errcontract    errors from *Err contract functions must be checked
+//	failureid      FailureIDs must not be reused after Heal*/Remove*
+//	obsregistry    obs handles must be created before runner.Map/Reduce fan-out
+//	journaltaint   no wall-clock/RNG-derived values in the journal or reports
 //
 // A finding can be suppressed, with a mandatory written reason, by
 //
@@ -30,8 +50,12 @@ package main
 
 import (
 	"lifeguard/internal/analysis"
+	"lifeguard/internal/analysis/errcontract"
+	"lifeguard/internal/analysis/failureid"
+	"lifeguard/internal/analysis/journaltaint"
 	"lifeguard/internal/analysis/lockcopyplus"
 	"lifeguard/internal/analysis/maporder"
+	"lifeguard/internal/analysis/obsregistry"
 	"lifeguard/internal/analysis/seededrand"
 	"lifeguard/internal/analysis/simclockcheck"
 	"lifeguard/internal/analysis/valleyfree"
@@ -44,5 +68,9 @@ func main() {
 		maporder.Analyzer,
 		lockcopyplus.Analyzer,
 		valleyfree.Analyzer,
+		errcontract.Analyzer,
+		failureid.Analyzer,
+		obsregistry.Analyzer,
+		journaltaint.Analyzer,
 	)
 }

@@ -1,20 +1,26 @@
 // Package analysis is a deliberately small, dependency-free re-creation of
 // the golang.org/x/tools/go/analysis model: an Analyzer inspects one
-// type-checked package at a time and reports position-tagged diagnostics.
+// type-checked package at a time and reports position-tagged diagnostics,
+// optionally with machine-applicable suggested fixes, and may exchange
+// serializable facts with runs of the same analyzer on other packages.
 //
 // The repository cannot vendor x/tools (stdlib-only policy), and the subset
-// we need — per-package syntax + types, diagnostics, a vet driver, and a
-// testdata harness — is a few hundred lines, so we own it. The shape mirrors
-// x/tools closely enough that migrating to the real framework later is a
-// mechanical change.
+// we need — per-package syntax + types, diagnostics, facts along the package
+// DAG, a vet driver, and a testdata harness — is around a thousand lines, so
+// we own it. The shape mirrors x/tools closely enough that migrating to the
+// real framework later is a mechanical change.
 //
 // Drivers:
 //
 //   - unitchecker.go speaks the `go vet -vettool` protocol, so the lglint
 //     suite runs under the build cache with full export data, exactly like
-//     the standard vet passes (see cmd/lglint).
-//   - analysistest/ runs an analyzer over testdata packages and matches
-//     diagnostics against `// want "regexp"` comments.
+//     the standard vet passes; facts ride in the vetx files the protocol
+//     already ships between packages (see cmd/lglint).
+//   - cmd/lglint also has a standalone loader (built on `go list`) for the
+//     modes vet cannot drive: -fix, -json, -sarif, -github.
+//   - analysistest/ runs an analyzer over testdata packages — including
+//     testdata-local dependency packages, analyzed first so facts flow —
+//     and matches diagnostics against `// want "regexp"` comments.
 //
 // Every diagnostic can be suppressed with a written justification:
 //
@@ -42,6 +48,12 @@ type Analyzer struct {
 	// summary in -flags output.
 	Doc string
 
+	// FactTypes lists prototype values (pointers to zero structs) of every
+	// Fact type this analyzer exports or imports. An analyzer with a
+	// non-empty FactTypes also runs on dependency packages in fact-only
+	// mode so its facts are available when importers are analyzed.
+	FactTypes []Fact
+
 	// Run performs the analysis. It reports findings via pass.Reportf and
 	// returns an error only for internal failures (which abort the driver),
 	// never for findings.
@@ -49,7 +61,7 @@ type Analyzer struct {
 }
 
 // A Pass provides one analyzer with everything it may inspect for a single
-// package, plus the Reportf sink for diagnostics.
+// package, plus the Reportf sink for diagnostics and the fact store.
 type Pass struct {
 	Analyzer  *Analyzer
 	Fset      *token.FileSet
@@ -58,15 +70,79 @@ type Pass struct {
 	TypesInfo *types.Info
 
 	diags *[]Diagnostic
+	facts *FactSet
 }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	*p.diags = append(*p.diags, Diagnostic{
-		Pos:      pos,
-		Analyzer: p.Analyzer.Name,
-		Message:  fmt.Sprintf(format, args...),
-	})
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report records a fully-formed diagnostic (the way to attach
+// SuggestedFixes). The Analyzer field is stamped by the pass.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// ExportObjectFact states fact about obj, a package-level object (or method
+// of one) of the package under analysis. The fact becomes visible to this
+// analyzer when later passes analyze importing packages, and to
+// ImportObjectFact within this pass immediately.
+func (p *Pass) ExportObjectFact(obj types.Object, fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.export(p.Analyzer, p.Pkg, obj, fact)
+}
+
+// ImportObjectFact copies into fact the fact previously exported for obj —
+// by this pass or by this analyzer's run on the package that defines obj —
+// and reports whether one existed. fact must be a pointer of a type listed
+// in the analyzer's FactTypes.
+func (p *Pass) ImportObjectFact(obj types.Object, fact Fact) bool {
+	if p.facts == nil || obj == nil {
+		return false
+	}
+	pkg := obj.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return p.facts.importFact(p.Analyzer, pkg, obj, fact)
+}
+
+// ExportPackageFact states fact about the package under analysis.
+func (p *Pass) ExportPackageFact(fact Fact) {
+	if p.facts == nil {
+		return
+	}
+	p.facts.export(p.Analyzer, p.Pkg, nil, fact)
+}
+
+// ImportPackageFact copies into fact the package fact previously exported
+// for pkg, reporting whether one existed.
+func (p *Pass) ImportPackageFact(pkg *types.Package, fact Fact) bool {
+	if p.facts == nil || pkg == nil {
+		return false
+	}
+	return p.facts.importFact(p.Analyzer, pkg, nil, fact)
+}
+
+// A TextEdit replaces the source text in [Pos, End) with NewText. Pos ==
+// End is a pure insertion.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}
+
+// A SuggestedFix is one machine-applicable resolution of a diagnostic: a
+// set of non-overlapping edits, all within the diagnostic's file. Applying
+// the fix must make the diagnostic disappear on re-analysis — the round-trip
+// the -fix testdata tests pin.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
 }
 
 // A Diagnostic is a single finding. Analyzer is the short analyzer name, or
@@ -75,13 +151,21 @@ type Diagnostic struct {
 	Pos      token.Pos
 	Analyzer string
 	Message  string
+
+	// SuggestedFixes, when non-empty, are alternative machine-applicable
+	// resolutions; drivers apply the first one.
+	SuggestedFixes []SuggestedFix
 }
 
 // Run executes the given analyzers over one type-checked package, applies
 // //lint:ignore suppression, and returns the surviving diagnostics sorted by
 // position. Malformed directives are appended as diagnostics exactly once,
 // regardless of how many analyzers ran.
-func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+//
+// facts carries previously-imported dependency facts in and newly-exported
+// facts out; nil disables the mechanism (fact calls become no-ops reporting
+// nothing, so analyzers degrade to single-package reasoning).
+func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, facts *FactSet) ([]Diagnostic, error) {
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
 		known[a.Name] = true
@@ -97,6 +181,7 @@ func Run(analyzers []*Analyzer, fset *token.FileSet, files []*ast.File, pkg *typ
 			Pkg:       pkg,
 			TypesInfo: info,
 			diags:     &diags,
+			facts:     facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)

@@ -7,12 +7,18 @@
 // An expectation comment starts with the word "want" followed by one or more
 // quoted regular expressions (double- or back-quoted); each must match
 // exactly one diagnostic reported on that line, and every diagnostic must be
-// matched. /* want `...` */ block comments work too, which is how a line
-// that already carries a //-directive states its expectation.
+// matched. A quoted regexp may carry a column prefix — `want 12:"re"` — in
+// which case the diagnostic must also start at that column. /* want `...` */
+// block comments work too, which is how a line that already carries a
+// //-directive states its expectation.
 //
 // Testdata packages live at <dir>/testdata/src/<name>/*.go and may import
-// only the standard library: dependency type information comes from
-// `go list -export`, i.e. from the toolchain's own export data, so tests run
+// the standard library plus sibling testdata packages: an import path that
+// names a directory under the same testdata/src root is loaded from source,
+// analyzed first so its facts are available, and only then is the importing
+// package checked — the harness-level mirror of the vet driver's
+// package-DAG fact flow. Standard-library type information comes from
+// `go list -export`, i.e. the toolchain's own export data, so tests run
 // offline and agree exactly with what the vet driver sees.
 package analysistest
 
@@ -21,8 +27,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
@@ -40,26 +48,135 @@ import (
 // reports expectation mismatches via t.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	root := filepath.Join(dir, "testdata", "src")
 	for _, pkg := range pkgs {
-		runPkg(t, filepath.Join(dir, "testdata", "src", pkg), a)
+		l := &loader{root: root, analyzer: a, facts: analysis.NewFactSet(), loaded: map[string]*loadedPkg{}}
+		p, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, l.fset(), p.files, p.pkg, p.info, l.facts)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+		}
+		checkExpectations(t, l.fset(), p.files, diags)
 	}
 }
 
-func runPkg(t *testing.T, dir string, a *analysis.Analyzer) {
+// RunFix pins the -fix round trip for one testdata package: it runs the
+// analyzer, applies every suggested fix in memory, re-runs the analyzer on
+// the fixed sources, and fails if any diagnostic that offered a fix is
+// still reported (or the fixed source no longer parses/typechecks).
+func RunFix(t *testing.T, dir string, a *analysis.Analyzer, pkg string) {
 	t.Helper()
+	root := filepath.Join(dir, "testdata", "src")
+	l := &loader{root: root, analyzer: a, facts: analysis.NewFactSet(), loaded: map[string]*loadedPkg{}}
+	p, err := l.load(pkg)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pkg, err)
+	}
+	diags, err := analysis.Run([]*analysis.Analyzer{a}, l.fset(), p.files, p.pkg, p.info, l.facts)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, pkg, err)
+	}
+	hadFix := 0
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			hadFix++
+		}
+	}
+	if hadFix == 0 {
+		t.Fatalf("RunFix(%s, %s): no diagnostic offered a fix; nothing to round-trip", a.Name, pkg)
+	}
+
+	fixed, conflicts, err := analysis.ApplyFixes(l.fset(), diags, nil)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	for _, c := range conflicts {
+		t.Errorf("%s: fix conflict: %s", c.Pos, c.Message)
+	}
+
+	// Re-run on the fixed sources (unfixed files pass through unchanged).
+	l2 := &loader{root: root, analyzer: a, facts: analysis.NewFactSet(), loaded: map[string]*loadedPkg{}, overlay: fixed}
+	p2, err := l2.load(pkg)
+	if err != nil {
+		t.Fatalf("reloading %s after fixes: %v", pkg, err)
+	}
+	diags2, err := analysis.Run([]*analysis.Analyzer{a}, l2.fset(), p2.files, p2.pkg, p2.info, l2.facts)
+	if err != nil {
+		t.Fatalf("re-running %s after fixes on %s: %v", a.Name, pkg, err)
+	}
+	for _, d := range diags2 {
+		if len(d.SuggestedFixes) > 0 {
+			t.Errorf("%s: diagnostic survives its own fix: %s", l2.fset().Position(d.Pos), d.Message)
+		}
+	}
+}
+
+// loadedPkg is one typechecked testdata package.
+type loadedPkg struct {
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+// loader resolves testdata packages from source (running the analyzer on
+// each dependency so facts accumulate) and everything else from toolchain
+// export data.
+type loader struct {
+	root     string
+	analyzer *analysis.Analyzer
+	facts    *analysis.FactSet
+	loaded   map[string]*loadedPkg
+	overlay  map[string][]byte // filename → replacement content (RunFix)
+
+	fsetOnce *token.FileSet
+	exports  map[string]string // import path → export-data file
+	gc       types.Importer
+	loading  []string // cycle detection, in order
+}
+
+func (l *loader) fset() *token.FileSet {
+	if l.fsetOnce == nil {
+		l.fsetOnce = token.NewFileSet()
+	}
+	return l.fsetOnce
+}
+
+// load parses, typechecks, and (for dependencies) fact-analyzes the
+// testdata package at root/<path>.
+func (l *loader) load(path string) (*loadedPkg, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	for _, in := range l.loading {
+		if in == path {
+			return nil, fmt.Errorf("import cycle through testdata package %q", path)
+		}
+	}
+	l.loading = append(l.loading, path)
+	defer func() { l.loading = l.loading[:len(l.loading)-1] }()
+
+	dir := filepath.Join(l.root, path)
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
-		t.Fatalf("no Go files in %s: %v", dir, err)
+		return nil, fmt.Errorf("no Go files in %s: %v", dir, err)
 	}
 	sort.Strings(names)
 
-	fset := token.NewFileSet()
 	var files []*ast.File
 	imports := map[string]bool{}
 	for _, name := range names {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		var src any
+		if l.overlay != nil {
+			if data, ok := l.overlay[name]; ok {
+				src = data
+			}
+		}
+		f, err := parser.ParseFile(l.fset(), name, src, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			t.Fatalf("parse %s: %v", name, err)
+			return nil, fmt.Errorf("parse %s: %v", name, err)
 		}
 		files = append(files, f)
 		for _, imp := range f.Imports {
@@ -69,64 +186,111 @@ func runPkg(t *testing.T, dir string, a *analysis.Analyzer) {
 		}
 	}
 
-	lookup, err := exportLookup(imports)
-	if err != nil {
-		t.Fatalf("resolving export data: %v", err)
-	}
-	pkg, info, err := analysis.Typecheck(fset, files, filepath.Base(dir), "", nil, lookup)
-	if err != nil {
-		t.Fatalf("typecheck %s: %v", dir, err)
-	}
-
-	diags, err := analysis.Run([]*analysis.Analyzer{a}, fset, files, pkg, info)
-	if err != nil {
-		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
-	}
-	checkExpectations(t, fset, files, diags)
-}
-
-// exportLookup shells out to `go list -export` once to map every stdlib
-// import (and its transitive dependencies) to the toolchain's export-data
-// file in the build cache.
-func exportLookup(imports map[string]bool) (func(string) (io.ReadCloser, error), error) {
-	var paths []string
+	// Split imports: testdata-local siblings load from source, the rest
+	// resolve through export data.
+	var stdlib []string
 	for p := range imports {
-		if p != "unsafe" {
-			paths = append(paths, p)
+		if !l.isLocal(p) {
+			stdlib = append(stdlib, p)
 		}
 	}
-	sort.Strings(paths)
-	exports := map[string]string{}
-	if len(paths) > 0 {
-		cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, paths...)...)
-		var out, errb bytes.Buffer
-		cmd.Stdout, cmd.Stderr = &out, &errb
-		if err := cmd.Run(); err != nil {
-			return nil, fmt.Errorf("go list -export: %v\n%s", err, errb.String())
-		}
-		dec := json.NewDecoder(&out)
-		for {
-			var p struct{ ImportPath, Export string }
-			if err := dec.Decode(&p); err == io.EOF {
-				break
-			} else if err != nil {
+	sort.Strings(stdlib) // map iteration order must not leak into `go list` argv
+	if err := l.ensureExports(stdlib); err != nil {
+		return nil, err
+	}
+
+	if l.gc == nil {
+		l.gc = importer.ForCompiler(l.fset(), "gc", func(path string) (io.ReadCloser, error) {
+			file, ok := l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("no export data for %q (testdata packages may import only the standard library and sibling testdata packages)", path)
+			}
+			return os.Open(file)
+		})
+	}
+	imp := importerFunc(func(p string) (*types.Package, error) {
+		if l.isLocal(p) {
+			dep, err := l.load(p)
+			if err != nil {
 				return nil, err
 			}
-			if p.Export != "" {
-				exports[p.ImportPath] = p.Export
-			}
+			return dep.pkg, nil
+		}
+		return l.gc.Import(p)
+	})
+
+	pkg, info, err := analysis.TypecheckImporter(l.fset(), files, path, "", imp)
+	if err != nil {
+		return nil, fmt.Errorf("typecheck %s: %v", path, err)
+	}
+	p := &loadedPkg{files: files, pkg: pkg, info: info}
+	l.loaded[path] = p
+
+	// Dependency packages get a fact-gathering pass; their diagnostics are
+	// judged only when the package is itself named in Run.
+	if len(l.loading) > 1 {
+		if _, err := analysis.Run([]*analysis.Analyzer{l.analyzer}, l.fset(), files, pkg, info, l.facts); err != nil {
+			return nil, fmt.Errorf("fact pass over %s: %v", path, err)
 		}
 	}
-	return func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("no export data for %q (testdata packages may import only the standard library)", path)
-		}
-		return os.Open(file)
-	}, nil
+	return p, nil
 }
 
+// isLocal reports whether import path p names a sibling testdata package.
+func (l *loader) isLocal(p string) bool {
+	if p == "unsafe" || strings.Contains(p, "..") {
+		return false
+	}
+	st, err := os.Stat(filepath.Join(l.root, p))
+	return err == nil && st.IsDir()
+}
+
+// ensureExports shells out to `go list -export` for any of the given
+// import paths not already resolved, merging the resulting export-data
+// file map. Each testdata package contributes its own stdlib imports, so
+// the map grows as the dependency DAG is walked.
+func (l *loader) ensureExports(paths []string) error {
+	if l.exports == nil {
+		l.exports = map[string]string{}
+	}
+	var missing []string
+	for _, p := range paths {
+		if _, ok := l.exports[p]; !ok && p != "unsafe" {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	sort.Strings(missing)
+	cmd := exec.Command("go", append([]string{"list", "-deps", "-export", "-json=ImportPath,Export"}, missing...)...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go list -export: %v\n%s", err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	return nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
 type expectation struct {
+	pos     token.Position // where the want comment is
+	col     int            // 0 = any column
 	rx      *regexp.Regexp
 	matched bool
 }
@@ -156,7 +320,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 				k := key{posn.Filename, posn.Line}
 				rest := strings.TrimSpace(text[len("want"):])
 				for rest != "" {
-					rx, tail, err := cutQuoted(rest)
+					col, rx, tail, err := cutExpectation(rest)
 					if err != nil {
 						t.Errorf("%s: bad want comment: %v", posn, err)
 						break
@@ -166,7 +330,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 						t.Errorf("%s: bad want regexp %q: %v", posn, rx, err)
 						break
 					}
-					wants[k] = append(wants[k], &expectation{rx: re})
+					wants[k] = append(wants[k], &expectation{pos: posn, col: col, rx: re})
 					rest = strings.TrimSpace(tail)
 				}
 			}
@@ -178,7 +342,7 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 		k := key{posn.Filename, posn.Line}
 		found := false
 		for _, w := range wants[k] {
-			if !w.matched && w.rx.MatchString(d.Message) {
+			if !w.matched && w.rx.MatchString(d.Message) && (w.col == 0 || w.col == posn.Column) {
 				w.matched = true
 				found = true
 				break
@@ -188,13 +352,33 @@ func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, dia
 			t.Errorf("%s: unexpected diagnostic: %s (%s)", posn, d.Message, d.Analyzer)
 		}
 	}
-	for k, ws := range wants {
+	for _, ws := range wants {
 		for _, w := range ws {
 			if !w.matched {
-				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, w.rx)
+				if w.col != 0 {
+					t.Errorf("%s: expected diagnostic at column %d matching %q, got none", w.pos, w.col, w.rx)
+				} else {
+					t.Errorf("%s: expected diagnostic matching %q, got none", w.pos, w.rx)
+				}
 			}
 		}
 	}
+}
+
+// cutExpectation splits one expectation off s: an optional `N:` column
+// prefix followed by a double- or back-quoted regexp.
+func cutExpectation(s string) (col int, unquoted, rest string, err error) {
+	if i := strings.IndexByte(s, ':'); i > 0 {
+		if n, convErr := strconv.Atoi(s[:i]); convErr == nil {
+			if n <= 0 {
+				return 0, "", "", fmt.Errorf("column prefix must be positive, got %d", n)
+			}
+			col = n
+			s = s[i+1:]
+		}
+	}
+	unquoted, rest, err = cutQuoted(s)
+	return col, unquoted, rest, err
 }
 
 // cutQuoted splits a leading double- or back-quoted string off s.
@@ -204,7 +388,7 @@ func cutQuoted(s string) (unquoted, rest string, err error) {
 	}
 	q := s[0]
 	if q != '"' && q != '`' {
-		return "", "", fmt.Errorf("expectation must be a quoted regexp, got %q", s)
+		return "", "", fmt.Errorf("expectation must be a quoted regexp (optionally col-prefixed as N:\"re\"), got %q", s)
 	}
 	for i := 1; i < len(s); i++ {
 		if s[i] == q && (q == '`' || s[i-1] != '\\') {

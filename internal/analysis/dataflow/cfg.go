@@ -1,0 +1,346 @@
+// Package dataflow is the lightweight intra-procedural engine behind the
+// cross-package lglint analyzers: a control-flow graph built from go/ast,
+// and reaching definitions computed over it, queried through go/types
+// objects. It exists so analyzers can ask questions like "is this error
+// variable ever read on any path after this call?" or "can this healed
+// FailureID flow into a later API call?" without each analyzer hand-rolling
+// its own approximation of Go control flow.
+//
+// Scope and deliberate limits (linting, not compilation):
+//
+//   - Intra-procedural only. A nested func literal is opaque: identifiers
+//     it captures from the enclosing function count as uses at the point
+//     of the literal (so values escaping into closures are "used"), but
+//     assignments inside the literal are not kills. Both choices are
+//     conservative for the analyzers built on top — they can only make a
+//     value look more used or more reaching, never less.
+//   - Local variables only: package-level variables and struct fields are
+//     not tracked.
+//   - panic(...) and a bare return end a path; recover-based resumption is
+//     ignored.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is a straight-line sequence of CFG nodes. Nodes are statements
+// plus the bare condition/tag expressions of if/for/switch, in evaluation
+// order; compound statements never appear as nodes (their pieces do).
+type Block struct {
+	Index int
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// A CFG is the control-flow graph of one function body. Blocks[0] is the
+// entry block. Blocks with no successors end the function (return, panic,
+// or falling off the end).
+type CFG struct {
+	Blocks []*Block
+}
+
+type builder struct {
+	cfg *CFG
+	cur *Block // nil while the current point is unreachable
+
+	breakTo    []*Block          // innermost-last stack of break targets
+	continueTo []*Block          // innermost-last stack of continue targets
+	labels     map[string]*Block // label → block starting the labeled stmt
+	gotoFixups map[string][]*Block
+	labelLoop  map[string][2]*Block // label → {break target, continue target} for labeled loops
+
+	pendingLabel string // label naming the next loop statement, if any
+}
+
+func buildCFG(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:        &CFG{},
+		labels:     map[string]*Block{},
+		gotoFixups: map[string][]*Block{},
+		labelLoop:  map[string][2]*Block{},
+	}
+	b.cur = b.newBlock()
+	b.stmt(body)
+	// Unresolved gotos (labels in dead code): drop the edges.
+	return b.cfg
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.Succs = append(from.Succs, to)
+}
+
+// add appends n to the current block (creating one if the point is
+// unreachable, so dead code still gets def/use resolution).
+func (b *builder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.add(s.Cond)
+		head := b.cur
+		join := b.newBlock()
+		b.cur = b.newBlock()
+		b.edge(head, b.cur)
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			b.edge(head, b.cur)
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(head, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		b.cur = head
+		b.add(s.Cond)
+		join := b.newBlock()
+		// continue target: the post statement (its own block so a
+		// continue re-runs post before the back edge), else the head.
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.pushLoop(s, join, post)
+		body := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, join)
+		}
+		b.cur = body
+		b.stmt(s.Body)
+		if s.Post != nil {
+			b.edge(b.cur, post)
+			b.cur = post
+			b.stmt(s.Post)
+			b.edge(b.cur, head)
+		} else {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = join
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.cur, head)
+		head.Nodes = append(head.Nodes, s) // scanned specially: X uses, Key/Value defs
+		join := b.newBlock()
+		b.edge(head, join) // empty range
+		b.pushLoop(s, join, head)
+		body := b.newBlock()
+		b.edge(head, body)
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.popLoop()
+		b.cur = join
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		b.add(s.Tag)
+		b.caseClauses(s.Body, false)
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.add(s.Assign)
+		b.caseClauses(s.Body, true)
+	case *ast.SelectStmt:
+		head := b.cur
+		if head == nil {
+			head = b.newBlock()
+			b.cur = head
+		}
+		join := b.newBlock()
+		b.breakTo = append(b.breakTo, join)
+		for _, cc := range s.Body.List {
+			comm, ok := cc.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			blk := b.newBlock()
+			b.edge(head, blk)
+			b.cur = blk
+			b.stmt(comm.Comm)
+			for _, st := range comm.Body {
+				b.stmt(st)
+			}
+			b.edge(b.cur, join)
+		}
+		b.breakTo = b.breakTo[:len(b.breakTo)-1]
+		b.cur = join
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.LabeledStmt:
+		target := b.newBlock()
+		b.edge(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		for _, from := range b.gotoFixups[s.Label.Name] {
+			b.edge(from, target)
+		}
+		delete(b.gotoFixups, s.Label.Name)
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		b.add(s)
+		if isTerminalCall(s.X) {
+			b.cur = nil
+		}
+	default:
+		// Atomic statements: assign, decl, inc/dec, send, go, defer, empty.
+		b.add(s)
+	}
+}
+
+// caseClauses builds the shared switch shape: every case body branches
+// from the current block; fallthrough chains a body into the next one.
+func (b *builder) caseClauses(body *ast.BlockStmt, typeSwitch bool) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock()
+		b.cur = head
+	}
+	join := b.newBlock()
+	b.breakTo = append(b.breakTo, join)
+	var clauses []*ast.CaseClause
+	for _, st := range body.List {
+		if cc, ok := st.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock()
+		b.edge(head, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		} else if !typeSwitch {
+			// Case expressions are evaluated against the tag: uses in head.
+			for _, e := range cc.List {
+				head.Nodes = append(head.Nodes, e)
+			}
+		}
+	}
+	if !hasDefault {
+		b.edge(head, join)
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		if typeSwitch {
+			// The clause node carries the implicit per-clause variable def.
+			b.cur.Nodes = append(b.cur.Nodes, cc)
+		}
+		fellThrough := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(blocks) {
+					b.edge(b.cur, blocks[i+1])
+					fellThrough = true
+				}
+				continue
+			}
+			b.stmt(st)
+		}
+		if !fellThrough {
+			b.edge(b.cur, join)
+		}
+	}
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.cur = join
+}
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		if s.Label != nil {
+			if t, ok := b.labelLoop[s.Label.Name]; ok {
+				b.edge(b.cur, t[0])
+			}
+		} else if len(b.breakTo) > 0 {
+			b.edge(b.cur, b.breakTo[len(b.breakTo)-1])
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		if s.Label != nil {
+			if t, ok := b.labelLoop[s.Label.Name]; ok {
+				b.edge(b.cur, t[1])
+			}
+		} else if len(b.continueTo) > 0 {
+			b.edge(b.cur, b.continueTo[len(b.continueTo)-1])
+		}
+		b.cur = nil
+	case token.GOTO:
+		if t, ok := b.labels[s.Label.Name]; ok {
+			b.edge(b.cur, t)
+		} else if b.cur != nil {
+			b.gotoFixups[s.Label.Name] = append(b.gotoFixups[s.Label.Name], b.cur)
+		}
+		b.cur = nil
+	}
+	// FALLTHROUGH is handled by caseClauses.
+}
+
+// pendingLabel communicates a just-seen label to the loop it labels, so
+// `continue L` / `break L` resolve to that loop's targets.
+func (b *builder) pushLoop(s ast.Stmt, breakTo, continueTo *Block) {
+	b.breakTo = append(b.breakTo, breakTo)
+	b.continueTo = append(b.continueTo, continueTo)
+	if b.pendingLabel != "" {
+		b.labelLoop[b.pendingLabel] = [2]*Block{breakTo, continueTo}
+		b.pendingLabel = ""
+	}
+}
+
+func (b *builder) popLoop() {
+	b.breakTo = b.breakTo[:len(b.breakTo)-1]
+	b.continueTo = b.continueTo[:len(b.continueTo)-1]
+}
+
+// isTerminalCall reports whether e is a call that never returns: the
+// builtin panic, or the conventional process-enders.
+func isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "Exit", "Fatal", "Fatalf", "Fatalln", "Goexit":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,238 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// load typechecks one file and returns the named top-level function.
+func load(t *testing.T, src, fn string) (*ast.FuncDecl, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "t.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("t", fset, []*ast.File{file}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return fd, info
+		}
+	}
+	t.Fatalf("no func %s", fn)
+	return nil, nil
+}
+
+// defIdent finds the Def whose defining ident is the nth mention of name.
+func defIdent(t *testing.T, f *Flow, name string) *Def {
+	t.Helper()
+	for _, d := range f.Defs() {
+		if d.Ident != nil && d.Ident.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no def of %s", name)
+	return nil
+}
+
+func TestUncheckedErrorHasNoUses(t *testing.T) {
+	src := `package t
+func f() error { return nil }
+func g() {
+	err := f()
+	_ = 1
+	err = f()
+	if err != nil {
+		panic(err)
+	}
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+
+	var defs []*Def
+	for _, d := range flow.Defs() {
+		if d.Ident != nil && d.Ident.Name == "err" {
+			defs = append(defs, d)
+		}
+	}
+	if len(defs) != 2 {
+		t.Fatalf("got %d defs of err, want 2", len(defs))
+	}
+	if uses := flow.UsesReachedBy(defs[0]); len(uses) != 0 {
+		t.Errorf("first (unchecked) def of err reaches %d uses, want 0", len(uses))
+	}
+	if uses := flow.UsesReachedBy(defs[1]); len(uses) == 0 {
+		t.Errorf("second (checked) def of err reaches no uses, want some")
+	}
+}
+
+func TestBranchesMergeAtUse(t *testing.T) {
+	src := `package t
+func g(c bool) int {
+	x := 1
+	if c {
+		x = 2
+	}
+	return x
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+
+	var ret *ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r.Results[0].(*ast.Ident)
+		}
+		return true
+	})
+	if got := len(flow.DefsReaching(ret)); got != 2 {
+		t.Errorf("defs reaching `return x`: %d, want 2 (both branches)", got)
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	src := `package t
+func g(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+
+	// The `s += i` def must reach the use of s inside `s += i` itself via
+	// the back edge, and the use in `return s`.
+	d := func() *Def {
+		for _, d := range flow.Defs() {
+			if d.Ident != nil && d.Ident.Name == "s" && d.Src != nil {
+				if _, ok := d.Src.(*ast.BinaryExpr); ok {
+					return d
+				}
+			}
+		}
+		t.Fatal("no compound def of s")
+		return nil
+	}()
+	if uses := flow.UsesReachedBy(d); len(uses) < 2 {
+		t.Errorf("compound def of s reaches %d uses, want >= 2 (loop body + return)", len(uses))
+	}
+}
+
+func TestUsesAfter(t *testing.T) {
+	src := `package t
+func heal(id int) {}
+func g(a bool) {
+	id := 1
+	heal(id)
+	if a {
+		heal(id)
+	}
+}
+func h(a bool) {
+	id := 1
+	if a {
+		heal(id)
+	} else {
+		heal(id)
+	}
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+	d := defIdent(t, flow, "id")
+
+	// Find the first heal call statement.
+	var firstHeal ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if firstHeal != nil {
+			return false
+		}
+		if es, ok := n.(*ast.ExprStmt); ok {
+			firstHeal = es
+			return false
+		}
+		return true
+	})
+	after := flow.UsesAfter(firstHeal, d.Obj)
+	if len(after) != 1 {
+		t.Errorf("uses of id after first heal: %d, want 1", len(after))
+	}
+
+	// In h, the two heals are on exclusive branches: nothing after either.
+	fn2, info2 := load(t, src, "h")
+	flow2 := NewFunc(fn2, info2)
+	d2 := defIdent(t, flow2, "id")
+	var heals []ast.Node
+	ast.Inspect(fn2.Body, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			heals = append(heals, es)
+			return false
+		}
+		return true
+	})
+	for i, hstmt := range heals {
+		if after := flow2.UsesAfter(hstmt, d2.Obj); len(after) != 0 {
+			t.Errorf("branch heal %d: %d uses after, want 0", i, len(after))
+		}
+	}
+}
+
+func TestClosureCaptureIsUse(t *testing.T) {
+	src := `package t
+func f() error { return nil }
+func g() func() {
+	err := f()
+	return func() {
+		if err != nil {
+			panic(err)
+		}
+	}
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+	d := defIdent(t, flow, "err")
+	if uses := flow.UsesReachedBy(d); len(uses) == 0 {
+		t.Error("closure capture of err not counted as a use")
+	}
+}
+
+func TestRangeAndSwitch(t *testing.T) {
+	src := `package t
+func g(xs []int, v any) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	switch v := v.(type) {
+	case int:
+		total += v
+	}
+	return total
+}`
+	fn, info := load(t, src, "g")
+	flow := NewFunc(fn, info)
+	var ret *ast.Ident
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r.Results[0].(*ast.Ident)
+		}
+		return true
+	})
+	if len(flow.DefsReaching(ret)) < 3 {
+		t.Errorf("defs reaching return: %d, want >= 3 (init, range body, switch body)", len(flow.DefsReaching(ret)))
+	}
+}

@@ -1,0 +1,524 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// A Def is one definition of a local variable: an assignment, a short
+// declaration, a var declaration, a range binding, a type-switch implicit,
+// or a function parameter/receiver/named result (defined at entry).
+type Def struct {
+	// Obj is the defined variable.
+	Obj *types.Var
+	// Ident is the defining identifier on the left-hand side; nil for
+	// parameters, receivers, and named results.
+	Ident *ast.Ident
+	// Src is the expression the value flows from: the matching RHS
+	// expression of an assignment (the whole call for tuple assignments,
+	// the range operand for range bindings, the compound-assignment
+	// statement for += and friends, the switch operand for type-switch
+	// implicits). Nil when there is no source expression (zero-value
+	// declarations, parameters).
+	Src ast.Expr
+	// Node is the CFG node the definition occurs at.
+	Node ast.Node
+
+	id int
+}
+
+// Flow holds the reaching-definitions solution for one function.
+type Flow struct {
+	CFG  *CFG
+	info *types.Info
+
+	defs      []*Def
+	defOf     map[*ast.Ident]*Def // defining ident → its def
+	reaching  map[*ast.Ident][]*Def
+	reachedBy map[*Def][]*ast.Ident
+
+	point    map[ast.Node][2]int       // CFG node → (block index, node index)
+	usesAt   map[int][][]*ast.Ident    // block index → per-node use idents
+	defsAtIx map[int][][]*Def          // block index → per-node defs
+	objOfUse map[*ast.Ident]*types.Var // use ident → variable
+	funcSpan [2]token.Pos              // the analyzed function's extent
+	onEntry  map[*types.Var]*Def       // parameter-style defs
+}
+
+// NewFunc computes reaching definitions for fn, which must be an
+// *ast.FuncDecl or *ast.FuncLit with a non-nil body. info must cover the
+// file containing fn.
+func NewFunc(fn ast.Node, info *types.Info) *Flow {
+	var body *ast.BlockStmt
+	var ftype *ast.FuncType
+	var recv *ast.FieldList
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body, ftype, recv = fn.Body, fn.Type, fn.Recv
+	case *ast.FuncLit:
+		body, ftype = fn.Body, fn.Type
+	default:
+		panic("dataflow: NewFunc wants *ast.FuncDecl or *ast.FuncLit")
+	}
+	f := &Flow{
+		CFG:       buildCFG(body),
+		info:      info,
+		defOf:     map[*ast.Ident]*Def{},
+		reaching:  map[*ast.Ident][]*Def{},
+		reachedBy: map[*Def][]*ast.Ident{},
+		point:     map[ast.Node][2]int{},
+		usesAt:    map[int][][]*ast.Ident{},
+		defsAtIx:  map[int][][]*Def{},
+		objOfUse:  map[*ast.Ident]*types.Var{},
+		onEntry:   map[*types.Var]*Def{},
+		funcSpan:  [2]token.Pos{fn.Pos(), fn.End()},
+	}
+	f.entryDefs(ftype, recv)
+	f.solve()
+	return f
+}
+
+// DefOf returns the definition introduced by a left-hand-side identifier,
+// or nil if id does not define a tracked local.
+func (f *Flow) DefOf(id *ast.Ident) *Def { return f.defOf[id] }
+
+// DefsReaching returns the definitions of the used variable that may reach
+// the given use identifier.
+func (f *Flow) DefsReaching(use *ast.Ident) []*Def { return f.reaching[use] }
+
+// UsesReachedBy returns the use identifiers the definition may reach, in
+// position order.
+func (f *Flow) UsesReachedBy(def *Def) []*ast.Ident { return f.reachedBy[def] }
+
+// Defs returns every definition, entry defs first, then in CFG order.
+func (f *Flow) Defs() []*Def { return f.defs }
+
+// UsesAfter returns the uses of obj at CFG points strictly after node n
+// (same block later, or any block reachable from n's block — including n's
+// own earlier nodes when a loop leads back into it). n must be a CFG node
+// or a descendant of one.
+func (f *Flow) UsesAfter(n ast.Node, obj *types.Var) []*ast.Ident {
+	pt, ok := f.pointFor(n)
+	if !ok {
+		return nil
+	}
+	var out []*ast.Ident
+	collect := func(b int, from int) {
+		uses := f.usesAt[b]
+		for i := from; i < len(uses); i++ {
+			for _, u := range uses[i] {
+				if f.objOfUse[u] == obj {
+					out = append(out, u)
+				}
+			}
+		}
+	}
+	start := f.CFG.Blocks[pt[0]]
+	collect(pt[0], pt[1]+1)
+	seen := map[*Block]bool{}
+	var queue []*Block
+	queue = append(queue, start.Succs...)
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		collect(b.Index, 0)
+		queue = append(queue, b.Succs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// UsesBeforeRedef returns the uses of obj at CFG points strictly after
+// node n that are reachable on some path that does not pass through a
+// redefinition of obj. This is the "is the old value still live here?"
+// query: unlike UsesAfter, a loop that re-binds obj each iteration does
+// not leak uses from the next iteration.
+func (f *Flow) UsesBeforeRedef(n ast.Node, obj *types.Var) []*ast.Ident {
+	pt, ok := f.pointFor(n)
+	if !ok {
+		return nil
+	}
+	var out []*ast.Ident
+	// walkFrom scans block b from node index i, collecting uses of obj,
+	// and reports whether the walk reached the block's end (no kill).
+	walkFrom := func(b, i int) bool {
+		blk := f.CFG.Blocks[b]
+		for ; i < len(blk.Nodes); i++ {
+			for _, u := range f.usesAt[b][i] {
+				if f.objOfUse[u] == obj {
+					out = append(out, u)
+				}
+			}
+			for _, d := range f.defsAtIx[b][i] {
+				if d.Obj == obj {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	seen := map[*Block]bool{}
+	var queue []*Block
+	start := f.CFG.Blocks[pt[0]]
+	if walkFrom(pt[0], pt[1]+1) {
+		queue = append(queue, start.Succs...)
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		if walkFrom(b.Index, 0) {
+			queue = append(queue, b.Succs...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// pointFor locates the CFG node containing n: n itself if recorded, else
+// the smallest recorded node whose span covers n.
+func (f *Flow) pointFor(n ast.Node) ([2]int, bool) {
+	if pt, ok := f.point[n]; ok {
+		return pt, true
+	}
+	var best ast.Node
+	var bestPt [2]int
+	for node, pt := range f.point {
+		if node.Pos() <= n.Pos() && n.End() <= node.End() {
+			if best == nil || node.End()-node.Pos() < best.End()-best.Pos() {
+				best, bestPt = node, pt
+			}
+		}
+	}
+	return bestPt, best != nil
+}
+
+// entryDefs registers receiver, parameters, and named results as
+// definitions live at function entry.
+func (f *Flow) entryDefs(ftype *ast.FuncType, recv *ast.FieldList) {
+	addFields := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj, ok := f.info.Defs[name].(*types.Var); ok && obj != nil {
+					d := &Def{Obj: obj, Node: ftype, id: len(f.defs)}
+					f.defs = append(f.defs, d)
+					f.onEntry[obj] = d
+				}
+			}
+		}
+	}
+	addFields(recv)
+	addFields(ftype.Params)
+	addFields(ftype.Results)
+}
+
+// defUse is the per-node event list: uses happen before defs.
+type defUse struct {
+	uses []*ast.Ident
+	defs []*Def
+}
+
+func (f *Flow) solve() {
+	// Pass 1: enumerate events per node, number defs.
+	events := make([][]defUse, len(f.CFG.Blocks))
+	for _, b := range f.CFG.Blocks {
+		events[b.Index] = make([]defUse, len(b.Nodes))
+		f.usesAt[b.Index] = make([][]*ast.Ident, len(b.Nodes))
+		f.defsAtIx[b.Index] = make([][]*Def, len(b.Nodes))
+		for i, n := range b.Nodes {
+			f.point[n] = [2]int{b.Index, i}
+			du := f.scan(n)
+			events[b.Index][i] = du
+			f.usesAt[b.Index][i] = du.uses
+			f.defsAtIx[b.Index][i] = du.defs
+			for _, u := range du.uses {
+				f.objOfUse[u] = f.info.ObjectOf(u).(*types.Var)
+			}
+		}
+	}
+
+	// Pass 2: gen/kill fixpoint over blocks. Sets are maps def→bool keyed
+	// per block; functions are small, clarity over bitsets.
+	defsOf := map[*types.Var][]*Def{}
+	for _, d := range f.defs {
+		defsOf[d.Obj] = append(defsOf[d.Obj], d)
+	}
+	in := make([]map[*Def]bool, len(f.CFG.Blocks))
+	out := make([]map[*Def]bool, len(f.CFG.Blocks))
+	for i := range in {
+		in[i] = map[*Def]bool{}
+		out[i] = map[*Def]bool{}
+	}
+	for _, d := range f.onEntry {
+		in[0][d] = true
+	}
+
+	transfer := func(b int) map[*Def]bool {
+		cur := map[*Def]bool{}
+		for d := range in[b] {
+			cur[d] = true
+		}
+		for _, du := range events[b] {
+			for _, d := range du.defs {
+				for _, other := range defsOf[d.Obj] {
+					delete(cur, other)
+				}
+				cur[d] = true
+			}
+		}
+		return cur
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range f.CFG.Blocks {
+			newOut := transfer(b.Index)
+			if !sameSet(newOut, out[b.Index]) {
+				out[b.Index] = newOut
+				changed = true
+			}
+			for _, s := range b.Succs {
+				grew := false
+				for d := range newOut {
+					if !in[s.Index][d] {
+						in[s.Index][d] = true
+						grew = true
+					}
+				}
+				if grew {
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Pass 3: walk each block once more resolving every use against the
+	// running def set.
+	for _, b := range f.CFG.Blocks {
+		cur := map[*types.Var][]*Def{}
+		for d := range in[b.Index] {
+			cur[d.Obj] = append(cur[d.Obj], d)
+		}
+		for _, du := range events[b.Index] {
+			for _, u := range du.uses {
+				obj := f.objOfUse[u]
+				ds := append([]*Def(nil), cur[obj]...)
+				sort.Slice(ds, func(i, j int) bool { return ds[i].id < ds[j].id })
+				f.reaching[u] = ds
+				for _, d := range ds {
+					f.reachedBy[d] = append(f.reachedBy[d], u)
+				}
+			}
+			for _, d := range du.defs {
+				cur[d.Obj] = []*Def{d}
+			}
+		}
+	}
+	for _, uses := range f.reachedBy {
+		sort.Slice(uses, func(i, j int) bool { return uses[i].Pos() < uses[j].Pos() })
+	}
+}
+
+func sameSet(a, b map[*Def]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for d := range a {
+		if !b[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// newDef records a definition of the variable bound to id (which must be
+// in info.Defs or info.Uses) with the given source expression.
+func (f *Flow) newDef(id *ast.Ident, src ast.Expr, node ast.Node) *Def {
+	if id == nil || id.Name == "_" {
+		return nil
+	}
+	obj, ok := f.info.ObjectOf(id).(*types.Var)
+	if !ok || obj == nil || !f.tracked(obj) {
+		return nil
+	}
+	d := &Def{Obj: obj, Ident: id, Src: src, Node: node, id: len(f.defs)}
+	f.defs = append(f.defs, d)
+	f.defOf[id] = d
+	return d
+}
+
+// tracked limits the analysis to function-local variables (including
+// params): package-level variables and struct fields have defs this
+// intra-procedural view cannot see.
+func (f *Flow) tracked(obj *types.Var) bool {
+	if obj.IsField() {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pos() >= f.funcSpan[0] && obj.Pos() <= f.funcSpan[1]
+}
+
+// scan extracts the ordered uses and defs of one CFG node.
+func (f *Flow) scan(n ast.Node) defUse {
+	var du defUse
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, rhs := range n.Rhs {
+			du.uses = append(du.uses, f.exprUses(rhs)...)
+		}
+		tuple := len(n.Lhs) > 1 && len(n.Rhs) == 1
+		for i, lhs := range n.Lhs {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent {
+				du.uses = append(du.uses, f.exprUses(lhs)...)
+				continue
+			}
+			var src ast.Expr
+			switch {
+			case n.Tok == token.ASSIGN || n.Tok == token.DEFINE:
+				if tuple {
+					src = n.Rhs[0]
+				} else if i < len(n.Rhs) {
+					src = n.Rhs[i]
+				}
+			default:
+				// Compound assignment (+=, |=, ...): the old value feeds
+				// the new one, so the ident is also a use and the source
+				// is the whole statement.
+				du.uses = append(du.uses, f.identUse(id)...)
+				src = &ast.BinaryExpr{X: id, Y: n.Rhs[0], OpPos: n.TokPos}
+			}
+			if d := f.newDef(id, src, n); d != nil {
+				du.defs = append(du.defs, d)
+			} else if n.Tok != token.DEFINE && id.Name != "_" {
+				// Assignment to an untracked variable (package-level,
+				// captured): record the mention as a use so the value
+				// does not look dead.
+				du.uses = append(du.uses, f.identUse(id)...)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := n.X.(*ast.Ident); ok {
+			du.uses = append(du.uses, f.identUse(id)...)
+			f.newDefInto(&du, id, &ast.BinaryExpr{X: id, Y: id, OpPos: n.TokPos}, n)
+		} else {
+			du.uses = append(du.uses, f.exprUses(n.X)...)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, v := range vs.Values {
+				du.uses = append(du.uses, f.exprUses(v)...)
+			}
+			tuple := len(vs.Names) > 1 && len(vs.Values) == 1
+			for i, name := range vs.Names {
+				var src ast.Expr
+				if tuple {
+					src = vs.Values[0]
+				} else if i < len(vs.Values) {
+					src = vs.Values[i]
+				}
+				f.newDefInto(&du, name, src, n)
+			}
+		}
+	case *ast.RangeStmt:
+		du.uses = append(du.uses, f.exprUses(n.X)...)
+		for _, kv := range []ast.Expr{n.Key, n.Value} {
+			if kv == nil {
+				continue
+			}
+			if id, ok := kv.(*ast.Ident); ok {
+				// := declares, = reassigns; either way it is a def whose
+				// value flows from the range operand.
+				f.newDefInto(&du, id, n.X, n)
+			} else {
+				du.uses = append(du.uses, f.exprUses(kv)...)
+			}
+		}
+	case *ast.CaseClause:
+		// Type-switch clause: carries the implicit per-clause variable.
+		for _, e := range n.List {
+			du.uses = append(du.uses, f.exprUses(e)...)
+		}
+		if obj, ok := f.info.Implicits[n].(*types.Var); ok && obj != nil && f.tracked(obj) {
+			d := &Def{Obj: obj, Node: n, id: len(f.defs)}
+			f.defs = append(f.defs, d)
+			du.defs = append(du.defs, d)
+		}
+	default:
+		du.uses = append(du.uses, f.exprUses(n)...)
+	}
+	return du
+}
+
+// newDefInto appends a def to the event list when id defines a tracked
+// variable.
+func (f *Flow) newDefInto(du *defUse, id *ast.Ident, src ast.Expr, node ast.Node) {
+	if d := f.newDef(id, src, node); d != nil {
+		du.defs = append(du.defs, d)
+	}
+}
+
+// identUse returns id as a use if it refers to a tracked variable.
+func (f *Flow) identUse(id *ast.Ident) []*ast.Ident {
+	if obj, ok := f.info.ObjectOf(id).(*types.Var); ok && obj != nil && f.tracked(obj) {
+		return []*ast.Ident{id}
+	}
+	return nil
+}
+
+// exprUses collects the tracked-variable uses inside n. Nested function
+// literals contribute their free-variable references (a capture is a use
+// at the literal's point) but nothing declared within them.
+func (f *Flow) exprUses(n ast.Node) []*ast.Ident {
+	var uses []*ast.Ident
+	var walk func(n ast.Node, inLit *ast.FuncLit)
+	walk = func(n ast.Node, inLit *ast.FuncLit) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				if inLit == nil {
+					walk(c.Body, c)
+					return false
+				}
+				return true // already inside a literal; keep walking
+			case *ast.Ident:
+				obj, ok := f.info.Uses[c].(*types.Var)
+				if !ok || obj == nil || !f.tracked(obj) {
+					return true
+				}
+				if inLit != nil && obj.Pos() >= inLit.Pos() && obj.Pos() <= inLit.End() {
+					return true // declared inside the literal: not a capture
+				}
+				uses = append(uses, c)
+			}
+			return true
+		})
+	}
+	if n != nil {
+		walk(n, nil)
+	}
+	return uses
+}

@@ -1,0 +1,15 @@
+package errcontract
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestErrcontract(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "api", "b", "clean", "ignore")
+}
+
+func TestErrcontractFix(t *testing.T) {
+	analysistest.RunFix(t, ".", Analyzer, "fixable")
+}

@@ -1,0 +1,65 @@
+// Package a exercises the flagged forms against contract functions
+// defined in the same package.
+package a
+
+import "errors"
+
+func AnnounceErr(prefix string) error {
+	if prefix == "" {
+		return errors.New("empty prefix")
+	}
+	return nil
+}
+
+func ParseErr(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+type Engine struct{}
+
+func (e *Engine) WithdrawErr(prefix string) error {
+	return nil
+}
+
+func bareStatement() {
+	AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: the error is discarded`
+}
+
+func bareMethod(e *Engine) {
+	e.WithdrawErr("10.0.0.0/8") // want `result of e\.WithdrawErr is an error contract: the error is discarded`
+}
+
+func underGo() {
+	go AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: go/defer discards the error`
+}
+
+func underDefer() {
+	defer AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: go/defer discards the error`
+}
+
+func blankAssign() {
+	_ = AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: assigning the error to _ discards it`
+}
+
+func blankMulti() {
+	_, _ = ParseErr("x") // want `result of ParseErr is an error contract: assigning the error to _ discards it`
+}
+
+func assignedNeverRead() {
+	err := AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: err is assigned but never read on any path`
+	_ = 1
+	err = AnnounceErr("192.168.0.0/16")
+	if err != nil {
+		panic(err)
+	}
+}
+
+func insideClosure() {
+	f := func() {
+		AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: the error is discarded`
+	}
+	f()
+}

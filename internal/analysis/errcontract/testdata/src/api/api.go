@@ -1,0 +1,27 @@
+// Package api is the fact-exporting dependency: its contract functions
+// are tagged with MustCheck facts that importing packages consume.
+package api
+
+import "errors"
+
+type FailureID uint64
+
+type Engine struct{}
+
+func (e *Engine) AnnounceErr(prefix string) error {
+	if prefix == "" {
+		return errors.New("empty prefix")
+	}
+	return nil
+}
+
+func (e *Engine) WithdrawErr(prefix string) error {
+	return nil
+}
+
+func ResolveErr(name string) (FailureID, error) {
+	if name == "" {
+		return 0, errors.New("empty name")
+	}
+	return 1, nil
+}

@@ -1,0 +1,34 @@
+// Package b consumes api's contract functions: the MustCheck facts
+// exported while analyzing api drive the diagnostics here.
+package b
+
+import "api"
+
+func bareCross(e *api.Engine) {
+	e.AnnounceErr("10.0.0.0/8") // want `result of e\.AnnounceErr is an error contract: the error is discarded`
+}
+
+func blankCross() {
+	_, _ = api.ResolveErr("link-7") // want `result of api\.ResolveErr is an error contract: assigning the error to _ discards it`
+}
+
+func deadCross(e *api.Engine) bool {
+	err := e.WithdrawErr("10.0.0.0/8") // want `result of e\.WithdrawErr is an error contract: err is assigned but never read on any path`
+	err = e.WithdrawErr("192.168.0.0/16")
+	return err == nil
+}
+
+func checkedCross(e *api.Engine) {
+	if err := e.AnnounceErr("10.0.0.0/8"); err != nil {
+		panic(err)
+	}
+	id, err := api.ResolveErr("link-7")
+	if err != nil {
+		panic(err)
+	}
+	_ = id
+}
+
+func consumedCross(e *api.Engine) error {
+	return e.AnnounceErr("10.0.0.0/8")
+}

@@ -1,0 +1,55 @@
+// Package clean holds the accepted forms: every contract error is read
+// on some path, passed along, or the callee is not under the contract.
+package clean
+
+import "errors"
+
+func AnnounceErr(prefix string) error {
+	if prefix == "" {
+		return errors.New("empty prefix")
+	}
+	return nil
+}
+
+// Err alone is not a contract name; neither is a func without an error.
+func Err() error            { return nil }
+func CountErr(s string) int { return len(s) }
+
+func checkedInline() {
+	if err := AnnounceErr("10.0.0.0/8"); err != nil {
+		panic(err)
+	}
+}
+
+func checkedLater() {
+	err := AnnounceErr("10.0.0.0/8")
+	if err != nil {
+		panic(err)
+	}
+}
+
+func checkedOnOneBranch(strict bool) {
+	err := AnnounceErr("10.0.0.0/8")
+	if strict && err != nil {
+		panic(err)
+	}
+}
+
+func propagated() error {
+	return AnnounceErr("10.0.0.0/8")
+}
+
+func asArgument() {
+	record := func(err error) {}
+	record(AnnounceErr("10.0.0.0/8"))
+}
+
+func capturedByClosure() func() error {
+	err := AnnounceErr("10.0.0.0/8")
+	return func() error { return err }
+}
+
+func notContract() {
+	Err()
+	CountErr("x")
+}

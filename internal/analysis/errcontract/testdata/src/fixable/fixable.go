@@ -1,0 +1,42 @@
+// Package fixable holds findings that all carry suggested fixes, for the
+// apply-then-relint round trip: after the fixes land, the analyzer must
+// report nothing.
+package fixable
+
+import "errors"
+
+func AnnounceErr(prefix string) error {
+	if prefix == "" {
+		return errors.New("empty prefix")
+	}
+	return nil
+}
+
+func ParseErr(s string) (int, error) {
+	if s == "" {
+		return 0, errors.New("empty")
+	}
+	return len(s), nil
+}
+
+func bare() {
+	AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: the error is discarded`
+}
+
+func bareMulti() {
+	ParseErr("x") // want `result of ParseErr is an error contract: the error is discarded`
+}
+
+func nested(run bool) {
+	if run {
+		AnnounceErr("192.168.0.0/16") // want `result of AnnounceErr is an error contract: the error is discarded`
+	}
+}
+
+func dead() {
+	err := AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: err is assigned but never read on any path`
+	err = AnnounceErr("192.168.0.0/16")
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,14 @@
+// Package ignore shows the suppression escape hatch: a reasoned
+// //lint:ignore directive quiets the finding on the next line.
+package ignore
+
+func AnnounceErr(prefix string) error { return nil }
+
+func suppressed() {
+	//lint:ignore lglint/errcontract best-effort re-announce; failure handled by the retry loop
+	AnnounceErr("10.0.0.0/8")
+}
+
+func notSuppressed() {
+	AnnounceErr("10.0.0.0/8") // want `result of AnnounceErr is an error contract: the error is discarded`
+}

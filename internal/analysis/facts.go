@@ -1,0 +1,248 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file is the facts mechanism: the piece that turns five single-package
+// AST checkers into a cross-package analysis framework. A Fact is a small
+// serializable statement one analyzer makes about a package-level object (or
+// a whole package) while analyzing the defining package — "AnnounceErr's
+// error result must be checked", "newWallStamp returns a wall-clock-derived
+// value" — which the same analyzer can query later when it analyzes an
+// importing package. Facts travel along the package DAG inside the vetx
+// files the `go vet -vettool` protocol already ships between compilations
+// (see unitchecker.go), mirroring golang.org/x/tools/go/analysis facts.
+
+// A Fact is a datum about an object or package. Implementations must be
+// pointers to JSON-serializable structs; the AFact method is a marker that
+// keeps arbitrary types out of the fact store. An analyzer declares the
+// fact types it uses in Analyzer.FactTypes — undeclared types are rejected
+// at export and silently absent at import.
+type Fact interface {
+	AFact()
+}
+
+// An objectpath-lite: facts attach only to package-level objects, so a path
+// is either "Name" (func, var, const, type in package scope) or
+// "Type.Method" (a method of a package-level named type). This covers every
+// API an importing package can reach without the full generality of
+// x/tools' go/types/objectpath.
+
+// objectPath returns the intra-package path for obj, or "" if obj is not a
+// package-level object (or method of one) and therefore cannot carry facts.
+func objectPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if obj.Parent() == obj.Pkg().Scope() {
+		return obj.Name()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return ""
+		}
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return ""
+		}
+		return named.Obj().Name() + "." + fn.Name()
+	}
+	return ""
+}
+
+// findObject resolves a path produced by objectPath within pkg, returning
+// nil if the object no longer exists.
+func findObject(pkg *types.Package, path string) types.Object {
+	if pkg == nil || path == "" {
+		return nil
+	}
+	name, method, isMethod := strings.Cut(path, ".")
+	obj := pkg.Scope().Lookup(name)
+	if obj == nil || !isMethod {
+		return obj
+	}
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	named, ok := tn.Type().(*types.Named)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if m := named.Method(i); m.Name() == method {
+			return m
+		}
+	}
+	return nil
+}
+
+// factKey identifies one stored fact: the defining package, the object
+// within it ("" for a package fact), the analyzer that produced it, and the
+// fact's concrete type name.
+type factKey struct {
+	PkgPath  string
+	Object   string
+	Analyzer string
+	Type     string
+}
+
+// A FactSet holds the facts visible to one analysis unit: everything
+// decoded from dependency vetx files plus everything exported while
+// analyzing the current package. Exported facts are visible to
+// ImportObjectFact in the same pass immediately, so multi-file packages
+// see their own facts without a fixpoint. FactSet is safe for the
+// single-goroutine driver loop; a mutex guards the analysistest path,
+// which loads dependency packages lazily during typechecking.
+type FactSet struct {
+	mu    sync.Mutex
+	facts map[factKey]json.RawMessage
+}
+
+// NewFactSet returns an empty fact store.
+func NewFactSet() *FactSet {
+	return &FactSet{facts: make(map[factKey]json.RawMessage)}
+}
+
+func (s *FactSet) put(k factKey, data json.RawMessage) {
+	s.mu.Lock()
+	s.facts[k] = data
+	s.mu.Unlock()
+}
+
+func (s *FactSet) get(k factKey) (json.RawMessage, bool) {
+	s.mu.Lock()
+	data, ok := s.facts[k]
+	s.mu.Unlock()
+	return data, ok
+}
+
+// factTypeName is the name facts are serialized under: the pointed-to
+// struct type's name, e.g. "MustCheck" for *errcontract.MustCheck.
+func factTypeName(f Fact) string {
+	t := reflect.TypeOf(f)
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	return t.Name()
+}
+
+// declared reports whether the analyzer listed a fact of the same concrete
+// type in FactTypes.
+func declared(a *Analyzer, f Fact) bool {
+	for _, ft := range a.FactTypes {
+		if reflect.TypeOf(ft) == reflect.TypeOf(f) {
+			return true
+		}
+	}
+	return false
+}
+
+// export stores fact for obj (nil obj = package fact on pkg itself).
+// Exporting on a non-package-level object is a programming error in the
+// analyzer and panics, matching x/tools.
+func (s *FactSet) export(a *Analyzer, pkg *types.Package, obj types.Object, fact Fact) {
+	if !declared(a, fact) {
+		panic(fmt.Sprintf("analysis: analyzer %s exported fact %T not listed in FactTypes", a.Name, fact))
+	}
+	k := factKey{PkgPath: pkg.Path(), Analyzer: a.Name, Type: factTypeName(fact)}
+	if obj != nil {
+		if obj.Pkg() != pkg {
+			panic(fmt.Sprintf("analysis: analyzer %s exported fact for object %s outside the package under analysis", a.Name, obj.Name()))
+		}
+		path := objectPath(obj)
+		if path == "" {
+			panic(fmt.Sprintf("analysis: analyzer %s exported fact for non-package-level object %s", a.Name, obj.Name()))
+		}
+		k.Object = path
+	}
+	data, err := json.Marshal(fact)
+	if err != nil {
+		panic(fmt.Sprintf("analysis: analyzer %s: encoding fact %T: %v", a.Name, fact, err))
+	}
+	s.put(k, data)
+}
+
+// importFact decodes the stored fact for (pkg, obj, analyzer, type of ptr)
+// into ptr, reporting whether one existed.
+func (s *FactSet) importFact(a *Analyzer, pkg *types.Package, obj types.Object, ptr Fact) bool {
+	if !declared(a, ptr) {
+		return false
+	}
+	k := factKey{PkgPath: pkg.Path(), Analyzer: a.Name, Type: factTypeName(ptr)}
+	if obj != nil {
+		k.Object = objectPath(obj)
+		if k.Object == "" {
+			return false
+		}
+	}
+	data, ok := s.get(k)
+	if !ok {
+		return false
+	}
+	return json.Unmarshal(data, ptr) == nil
+}
+
+// serializedFact is the wire form of one fact inside a vetx file.
+type serializedFact struct {
+	Pkg      string          `json:"pkg"`
+	Object   string          `json:"object,omitempty"`
+	Analyzer string          `json:"analyzer"`
+	Type     string          `json:"type"`
+	Data     json.RawMessage `json:"data"`
+}
+
+// Encode serializes every fact in the set, deterministically ordered, for
+// a vetx file. The set includes facts re-exported from dependencies so an
+// importer sees the transitive closure without walking the DAG itself.
+func (s *FactSet) Encode() ([]byte, error) {
+	s.mu.Lock()
+	out := make([]serializedFact, 0, len(s.facts))
+	for k, data := range s.facts {
+		out = append(out, serializedFact{Pkg: k.PkgPath, Object: k.Object, Analyzer: k.Analyzer, Type: k.Type, Data: data})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.Object != b.Object {
+			return a.Object < b.Object
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Type < b.Type
+	})
+	return json.Marshal(out)
+}
+
+// Decode merges the facts serialized in data (one dependency's vetx file)
+// into the set. Empty input — the pre-facts vetx format, or a dependency
+// that failed to analyze — is a valid empty set.
+func (s *FactSet) Decode(data []byte) error {
+	if len(data) == 0 {
+		return nil
+	}
+	var in []serializedFact
+	if err := json.Unmarshal(data, &in); err != nil {
+		return fmt.Errorf("decoding facts: %w", err)
+	}
+	for _, f := range in {
+		s.put(factKey{PkgPath: f.Pkg, Object: f.Object, Analyzer: f.Analyzer, Type: f.Type}, f.Data)
+	}
+	return nil
+}

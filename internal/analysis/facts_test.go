@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+type markFact struct {
+	Note string
+}
+
+func (*markFact) AFact() {}
+
+type otherFact struct{}
+
+func (*otherFact) AFact() {}
+
+func typecheckSrc(t *testing.T, path, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:     make(map[ast.Expr]types.TypeAndValue),
+		Defs:      make(map[*ast.Ident]types.Object),
+		Uses:      make(map[*ast.Ident]types.Object),
+		Implicits: make(map[ast.Node]types.Object),
+	}
+	conf := &types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check(path, fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{file}, pkg, info
+}
+
+func TestFactRoundTripAcrossEncode(t *testing.T) {
+	_, _, pkg, _ := typecheckSrc(t, "p", `package p
+func AnnounceErr() error { return nil }
+type Engine struct{}
+func (e *Engine) WithdrawErr() error { return nil }
+`)
+	a := &Analyzer{Name: "t", Doc: "t", FactTypes: []Fact{(*markFact)(nil)}}
+
+	s := NewFactSet()
+	fn := pkg.Scope().Lookup("AnnounceErr")
+	s.export(a, pkg, fn, &markFact{Note: "fn"})
+	eng := pkg.Scope().Lookup("Engine").Type().(*types.Named)
+	var method types.Object
+	for i := 0; i < eng.NumMethods(); i++ {
+		method = eng.Method(i)
+	}
+	s.export(a, pkg, method, &markFact{Note: "method"})
+
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	s2 := NewFactSet()
+	if err := s2.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var got markFact
+	if !s2.importFact(a, pkg, fn, &got) || got.Note != "fn" {
+		t.Errorf("function fact did not round-trip: ok=%v note=%q", got.Note != "", got.Note)
+	}
+	got = markFact{}
+	if !s2.importFact(a, pkg, method, &got) || got.Note != "method" {
+		t.Errorf("method fact (Type.Method path) did not round-trip: note=%q", got.Note)
+	}
+}
+
+func TestFactsAreKeyedByAnalyzerAndType(t *testing.T) {
+	_, _, pkg, _ := typecheckSrc(t, "p", `package p
+func F() {}
+`)
+	a := &Analyzer{Name: "a", Doc: "a", FactTypes: []Fact{(*markFact)(nil), (*otherFact)(nil)}}
+	b := &Analyzer{Name: "b", Doc: "b", FactTypes: []Fact{(*markFact)(nil)}}
+	fn := pkg.Scope().Lookup("F")
+
+	s := NewFactSet()
+	s.export(a, pkg, fn, &markFact{Note: "x"})
+	if s.importFact(b, pkg, fn, &markFact{}) {
+		t.Error("analyzer b sees analyzer a's fact")
+	}
+	if s.importFact(a, pkg, fn, &otherFact{}) {
+		t.Error("otherFact lookup matched a markFact entry")
+	}
+	if !s.importFact(a, pkg, fn, &markFact{}) {
+		t.Error("owner cannot read back its own fact")
+	}
+}
+
+func TestEncodeIsDeterministicAndDecodeTolerant(t *testing.T) {
+	_, _, pkg, _ := typecheckSrc(t, "p", `package p
+func A() {}
+func B() {}
+func C() {}
+`)
+	a := &Analyzer{Name: "t", Doc: "t", FactTypes: []Fact{(*markFact)(nil)}}
+	build := func(order []string) []byte {
+		s := NewFactSet()
+		for _, n := range order {
+			s.export(a, pkg, pkg.Scope().Lookup(n), &markFact{Note: n})
+		}
+		data, err := s.Encode()
+		if err != nil {
+			t.Fatalf("Encode: %v", err)
+		}
+		return data
+	}
+	if !bytes.Equal(build([]string{"A", "B", "C"}), build([]string{"C", "A", "B"})) {
+		t.Error("Encode output depends on export order")
+	}
+
+	var s FactSet
+	if err := s.Decode(nil); err != nil {
+		t.Errorf("Decode(nil): %v", err)
+	}
+	if err := s.Decode([]byte{}); err != nil {
+		t.Errorf("Decode(empty): %v", err)
+	}
+}
+
+func TestUndeclaredFactTypePanics(t *testing.T) {
+	_, _, pkg, _ := typecheckSrc(t, "p", `package p
+func F() {}
+`)
+	a := &Analyzer{Name: "t", Doc: "t"} // no FactTypes
+	defer func() {
+		if recover() == nil {
+			t.Error("export with undeclared fact type did not panic")
+		}
+	}()
+	NewFactSet().export(a, pkg, pkg.Scope().Lookup("F"), &markFact{})
+}
+
+func TestPackageFacts(t *testing.T) {
+	_, _, pkg, _ := typecheckSrc(t, "p", `package p
+func F() {}
+`)
+	a := &Analyzer{Name: "t", Doc: "t", FactTypes: []Fact{(*markFact)(nil)}}
+	s := NewFactSet()
+	s.export(a, pkg, nil, &markFact{Note: "pkg"})
+	data, err := s.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	s2 := NewFactSet()
+	if err := s2.Decode(data); err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	var got markFact
+	if !s2.importFact(a, pkg, nil, &got) || got.Note != "pkg" {
+		t.Errorf("package fact did not round-trip: note=%q", got.Note)
+	}
+}

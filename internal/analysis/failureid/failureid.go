@@ -1,0 +1,264 @@
+// Package failureid enforces the dataplane FailureID lifecycle contract:
+// IDs name installed failure rules, are allocated from a counter that
+// never goes backwards, and are dead the moment a Heal*/Remove* call
+// consumes them — RemoveFailure on a healed ID returns false forever, and
+// chaos invariant checks treat a resurrected ID as a scripting bug. A
+// caller that keeps passing a consumed ID to the API is therefore holding
+// a dangling name: every later call is a silent no-op that makes a fault
+// timeline look healed when it is not.
+//
+// The analyzer exports a Consumes fact (which parameter positions kill
+// their argument) for every package-level Heal*/Remove* function or
+// method taking FailureID-typed values; at call sites — local or across
+// packages via the fact — it walks the control-flow graph forward from
+// the consuming call and flags any use of the same ID variable that
+// appears as an argument to another call before the variable is rebound.
+package failureid
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lifeguard/internal/analysis"
+	"lifeguard/internal/analysis/dataflow"
+)
+
+// Consumes marks a function that invalidates the FailureID arguments at
+// the given parameter positions.
+type Consumes struct {
+	Params []int
+}
+
+// AFact marks Consumes as a fact type.
+func (*Consumes) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "failureid",
+	Doc: "flag FailureID values used after a Heal*/Remove* call consumed them (cross-package via facts)\n" +
+		"\nFailureIDs are never reused: once healed, an ID is a dangling name and every" +
+		" dataplane call made with it is a silent no-op. Rebind the variable from a fresh" +
+		" AddFailure before using it again.",
+	FactTypes: []analysis.Fact{(*Consumes)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	exportFacts(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFuncNode(pass, fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFuncNode(pass, lit)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func exportFacts(pass *analysis.Pass) {
+	export := func(fn *types.Func) {
+		if ps := consumingParams(fn); len(ps) > 0 {
+			pass.ExportObjectFact(fn, &Consumes{Params: ps})
+		}
+	}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Func:
+			export(obj)
+		case *types.TypeName:
+			if named, ok := obj.Type().(*types.Named); ok {
+				for i := 0; i < named.NumMethods(); i++ {
+					export(named.Method(i))
+				}
+			}
+		}
+	}
+}
+
+// consumingParams applies the naming rule: a Heal*/Remove* function
+// consumes every FailureID-typed parameter.
+func consumingParams(fn *types.Func) []int {
+	if !strings.HasPrefix(fn.Name(), "Heal") && !strings.HasPrefix(fn.Name(), "Remove") {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var ps []int
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isFailureIDType(sig.Params().At(i).Type()) {
+			ps = append(ps, i)
+		}
+	}
+	return ps
+}
+
+// isFailureIDType matches the named type FailureID (any package following
+// the dataplane convention) and aggregates of it.
+func isFailureIDType(t types.Type) bool {
+	switch t := types.Unalias(t).(type) {
+	case *types.Named:
+		return t.Obj().Name() == "FailureID"
+	case *types.Array:
+		return isFailureIDType(t.Elem())
+	case *types.Slice:
+		return isFailureIDType(t.Elem())
+	}
+	return false
+}
+
+// consumes returns the consuming parameter positions for the called
+// object: the imported fact, or the local naming rule.
+func consumes(pass *analysis.Pass, obj types.Object) []int {
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	var fact Consumes
+	if pass.ImportObjectFact(fn, &fact) {
+		return fact.Params
+	}
+	return consumingParams(fn)
+}
+
+func checkFuncNode(pass *analysis.Pass, fn ast.Node) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	var flow *dataflow.Flow
+	reported := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false // its own checkFuncNode call handles it
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass, call)
+		ps := consumes(pass, obj)
+		if len(ps) == 0 {
+			return true
+		}
+		if flow == nil {
+			flow = dataflow.NewFunc(fn, pass.TypesInfo)
+		}
+		for _, p := range ps {
+			if p >= len(call.Args) {
+				continue
+			}
+			id, ok := ast.Unparen(call.Args[p]).(*ast.Ident)
+			if !ok {
+				continue // field/index/expr argument: can't track the binding
+			}
+			v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok {
+				continue
+			}
+			for _, use := range flow.UsesBeforeRedef(call, v) {
+				if reported[use] || !inFailureIDArg(pass, body, use, call) {
+					continue
+				}
+				reported[use] = true
+				pass.Reportf(use.Pos(), "FailureID %s was consumed by %s: IDs are never reused, so this call is a silent no-op; rebind from a fresh AddFailure", id.Name, calleeName(call))
+			}
+		}
+		return true
+	})
+}
+
+// inFailureIDArg reports whether use sits inside an argument of some call
+// (other than the consuming one) whose corresponding parameter is
+// FailureID-typed — the shape that hands a dead ID back to an API that
+// will interpret it. Comparisons, plain reads, and formatting the value
+// into a log or test-failure message (an any-typed parameter) stay legal:
+// reporting a dead ID's number is not using it as an ID.
+func inFailureIDArg(pass *analysis.Pass, body *ast.BlockStmt, use *ast.Ident, consuming *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call == consuming {
+			return true
+		}
+		sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+		if !ok {
+			return true // conversion or type expression, not a call
+		}
+		for i, arg := range call.Args {
+			if arg.Pos() <= use.Pos() && use.End() <= arg.End() {
+				if isFailureIDType(paramType(sig, i, call)) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// paramType resolves the parameter type matched by argument i, unrolling
+// the variadic tail.
+func paramType(sig *types.Signature, i int, call *ast.CallExpr) types.Type {
+	n := sig.Params().Len()
+	if n == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= n-1 {
+		last := sig.Params().At(n - 1).Type()
+		if call.Ellipsis.IsValid() {
+			return last // id... spread: the argument is the slice itself
+		}
+		if s, ok := types.Unalias(last).(*types.Slice); ok {
+			return s.Elem()
+		}
+		return last
+	}
+	if i >= n {
+		return nil
+	}
+	return sig.Params().At(i).Type()
+}
+
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,11 @@
+package failureid
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestFailureid(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "api", "b", "clean", "ignore")
+}

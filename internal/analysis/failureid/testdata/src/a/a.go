@@ -1,0 +1,45 @@
+// Package a exercises use-after-heal within one package.
+package a
+
+type FailureID int
+
+type Plane struct {
+	n FailureID
+}
+
+func (p *Plane) AddFailure() FailureID {
+	p.n++
+	return p.n
+}
+
+func (p *Plane) RemoveFailure(id FailureID) bool { return true }
+
+func (p *Plane) Failure(id FailureID) bool { return false }
+
+func Heal(p *Plane, id FailureID) { p.RemoveFailure(id) }
+
+func useAfterRemove(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	p.Failure(id) // want `FailureID id was consumed by p\.RemoveFailure: IDs are never reused`
+}
+
+func doubleRemove(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	p.RemoveFailure(id) // want `FailureID id was consumed by p\.RemoveFailure: IDs are never reused`
+}
+
+func useAfterHealFunc(p *Plane) {
+	id := p.AddFailure()
+	Heal(p, id)
+	p.Failure(id) // want `FailureID id was consumed by Heal: IDs are never reused`
+}
+
+func branchReuse(p *Plane, c bool) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	if c {
+		p.Failure(id) // want `FailureID id was consumed by p\.RemoveFailure: IDs are never reused`
+	}
+}

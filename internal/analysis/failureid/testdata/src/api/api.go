@@ -1,0 +1,24 @@
+// Package api is the fact-exporting dependency: its Heal*/Remove*
+// functions carry Consumes facts naming the parameters they kill.
+package api
+
+type FailureID int
+
+type Plane struct {
+	n FailureID
+}
+
+func (p *Plane) AddFailure() FailureID {
+	p.n++
+	return p.n
+}
+
+func (p *Plane) RemoveFailure(id FailureID) bool { return true }
+
+func (p *Plane) Failure(id FailureID) bool { return false }
+
+func HealAll(p *Plane, ids []FailureID) {
+	for _, id := range ids {
+		p.RemoveFailure(id)
+	}
+}

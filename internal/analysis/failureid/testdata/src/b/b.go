@@ -1,0 +1,24 @@
+// Package b consumes api across the package boundary: the Consumes facts
+// exported while analyzing api drive the diagnostics here.
+package b
+
+import "api"
+
+func reuse(p *api.Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	p.Failure(id) // want `FailureID id was consumed by p\.RemoveFailure: IDs are never reused`
+}
+
+func sliceHeal(p *api.Plane) {
+	ids := []api.FailureID{p.AddFailure()}
+	api.HealAll(p, ids)
+	p.Failure(ids[0]) // want `FailureID ids was consumed by api\.HealAll: IDs are never reused`
+}
+
+func rebound(p *api.Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	id = p.AddFailure()
+	p.RemoveFailure(id)
+}

@@ -1,0 +1,58 @@
+// Package clean holds the accepted forms: IDs rebound before reuse, reads
+// that never go back into the API, and per-iteration fresh IDs.
+package clean
+
+type FailureID int
+
+type Plane struct {
+	n FailureID
+}
+
+func (p *Plane) AddFailure() FailureID {
+	p.n++
+	return p.n
+}
+
+func (p *Plane) RemoveFailure(id FailureID) bool { return true }
+
+func (p *Plane) Failure(id FailureID) bool { return false }
+
+func useThenRemove(p *Plane) {
+	id := p.AddFailure()
+	p.Failure(id)
+	p.RemoveFailure(id)
+}
+
+func rebound(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	id = p.AddFailure()
+	p.Failure(id)
+}
+
+func freshEachIteration(p *Plane) {
+	for i := 0; i < 3; i++ {
+		id := p.AddFailure()
+		p.RemoveFailure(id)
+	}
+}
+
+func log(args ...any) {}
+
+// Formatting a dead ID into a message is reporting, not reuse: the
+// any-typed parameter does not interpret it as an ID.
+func reportingIsFine(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	log("removed", id)
+}
+
+func plainReadsAreFine(p *Plane) FailureID {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	if id > 10 {
+		return id
+	}
+	last := id
+	return last
+}

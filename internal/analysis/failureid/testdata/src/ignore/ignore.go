@@ -1,0 +1,23 @@
+// Package ignore shows the suppression escape hatch.
+package ignore
+
+type FailureID int
+
+type Plane struct{ n FailureID }
+
+func (p *Plane) AddFailure() FailureID      { p.n++; return p.n }
+func (p *Plane) RemoveFailure(id FailureID) bool { return true }
+func (p *Plane) Failure(id FailureID) bool  { return false }
+
+func suppressed(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	//lint:ignore lglint/failureid probing that removal really invalidated the ID
+	p.Failure(id)
+}
+
+func notSuppressed(p *Plane) {
+	id := p.AddFailure()
+	p.RemoveFailure(id)
+	p.Failure(id) // want `FailureID id was consumed by p\.RemoveFailure: IDs are never reused`
+}

@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+)
+
+// This file applies SuggestedFixes to source files: `lglint -fix` and the
+// analysistest round-trip helper both go through ApplyFixes. Edits are
+// validated against each other (overlapping edits from different
+// diagnostics are conflicts — the first fix in position order wins and the
+// loser is reported, never half-applied) and applied right-to-left so
+// offsets stay valid.
+
+// A Conflict records a suggested fix that was skipped because one of its
+// edits overlaps an edit from an already-accepted fix.
+type Conflict struct {
+	Pos      token.Position // diagnostic position of the skipped fix
+	Analyzer string
+	Message  string // the skipped fix's message
+}
+
+// fileEdit is one accepted edit localized to a file, in byte offsets.
+type fileEdit struct {
+	start, end int
+	newText    []byte
+}
+
+// ApplyFixes takes the first suggested fix of every diagnostic that has
+// one and returns the rewritten content of each affected file (keyed by
+// filename), plus the fixes skipped due to overlap conflicts. Sources are
+// read through src, a filename → content map; files absent from it are
+// read from disk, so tests can run fully in memory.
+func ApplyFixes(fset *token.FileSet, diags []Diagnostic, src map[string][]byte) (map[string][]byte, []Conflict, error) {
+	// Deterministic application order: diagnostic position, so the
+	// earliest finding wins a conflict regardless of analyzer order.
+	order := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if len(d.SuggestedFixes) > 0 {
+			order = append(order, d)
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool { return order[i].Pos < order[j].Pos })
+
+	accepted := map[string][]fileEdit{} // filename → edits, kept sorted by start
+	var conflicts []Conflict
+	for _, d := range order {
+		fix := d.SuggestedFixes[0]
+		edits := map[string][]fileEdit{}
+		ok := true
+		for _, te := range fix.TextEdits {
+			posn := fset.Position(te.Pos)
+			end := fset.Position(te.End)
+			if !posn.IsValid() || !end.IsValid() || posn.Filename != end.Filename || end.Offset < posn.Offset {
+				return nil, nil, fmt.Errorf("fix %q: invalid text edit at %s", fix.Message, posn)
+			}
+			edits[posn.Filename] = append(edits[posn.Filename], fileEdit{start: posn.Offset, end: end.Offset, newText: te.NewText})
+		}
+		// Check every edit of the fix against the accepted set (and the
+		// fix's own edits) before accepting any: a fix applies atomically.
+		for file, es := range edits {
+			all := append(append([]fileEdit{}, accepted[file]...), es...)
+			sort.Slice(all, func(i, j int) bool { return all[i].start < all[j].start })
+			for i := 1; i < len(all); i++ {
+				if all[i].start < all[i-1].end {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			conflicts = append(conflicts, Conflict{Pos: fset.Position(d.Pos), Analyzer: d.Analyzer, Message: fix.Message})
+			continue
+		}
+		for file, es := range edits {
+			accepted[file] = append(accepted[file], es...)
+			sort.Slice(accepted[file], func(i, j int) bool { return accepted[file][i].start < accepted[file][j].start })
+		}
+	}
+
+	out := map[string][]byte{}
+	for file, es := range accepted {
+		content, ok := src[file]
+		if !ok {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				return nil, nil, err
+			}
+			content = data
+		}
+		// Right to left so earlier offsets stay valid.
+		for i := len(es) - 1; i >= 0; i-- {
+			e := es[i]
+			if e.end > len(content) {
+				return nil, nil, fmt.Errorf("fix edit [%d,%d) beyond end of %s (%d bytes)", e.start, e.end, file, len(content))
+			}
+			content = append(content[:e.start:e.start], append([]byte(string(e.newText)), content[e.end:]...)...)
+		}
+		out[file] = content
+	}
+	return out, conflicts, nil
+}
+
+// UnifiedDiff renders a minimal unified diff between old and new contents
+// of one file, for `-fix -dry-run` output. It is a plain line-based LCS —
+// source files are small enough that quadratic is fine.
+func UnifiedDiff(filename string, oldData, newData []byte) string {
+	a := splitLines(string(oldData))
+	b := splitLines(string(newData))
+	if len(a) == len(b) {
+		same := true
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return ""
+		}
+	}
+
+	// LCS table.
+	n, m := len(a), len(b)
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "--- %s\n+++ %s (fixed)\n", filename, filename)
+	i, j := 0, 0
+	for i < n || j < m {
+		switch {
+		case i < n && j < m && a[i] == b[j]:
+			i++
+			j++
+		case j < m && (i == n || lcs[i][j+1] >= lcs[i+1][j]):
+			fmt.Fprintf(&sb, "@@ %d @@\n+%s\n", j+1, b[j])
+			j++
+		default:
+			fmt.Fprintf(&sb, "@@ %d @@\n-%s\n", i+1, a[i])
+			i++
+		}
+	}
+	return sb.String()
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// fixFile registers src under name in a fresh fileset and returns both,
+// with a helper mapping byte offsets to token.Pos.
+func fixFile(fset *token.FileSet, name, src string) func(offset int) token.Pos {
+	f := fset.AddFile(name, -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	return f.Pos
+}
+
+func TestApplyFixesInsertAndReplace(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "alpha beta gamma\n"
+	pos := fixFile(fset, "a.go", src)
+
+	diags := []Diagnostic{
+		{
+			Analyzer: "x",
+			Pos:      pos(6),
+			SuggestedFixes: []SuggestedFix{{
+				Message: "replace beta",
+				TextEdits: []TextEdit{
+					{Pos: pos(6), End: pos(10), NewText: []byte("BETA")},
+				},
+			}},
+		},
+		{
+			Analyzer: "x",
+			Pos:      pos(0),
+			SuggestedFixes: []SuggestedFix{{
+				Message: "prefix",
+				TextEdits: []TextEdit{
+					{Pos: pos(0), End: pos(0), NewText: []byte("// hi\n")},
+				},
+			}},
+		},
+	}
+	out, conflicts, err := ApplyFixes(fset, diags, map[string][]byte{"a.go": []byte(src)})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(conflicts) != 0 {
+		t.Fatalf("unexpected conflicts: %v", conflicts)
+	}
+	if got, want := string(out["a.go"]), "// hi\nalpha BETA gamma\n"; got != want {
+		t.Errorf("fixed content = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesConflictFirstWins(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "alpha beta gamma\n"
+	pos := fixFile(fset, "a.go", src)
+
+	diags := []Diagnostic{
+		// Later position but listed first: position order decides the winner.
+		{
+			Analyzer: "second",
+			Pos:      pos(8),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "rewrite beta wide",
+				TextEdits: []TextEdit{{Pos: pos(6), End: pos(16), NewText: []byte("X")}},
+			}},
+		},
+		{
+			Analyzer: "first",
+			Pos:      pos(6),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "rewrite beta",
+				TextEdits: []TextEdit{{Pos: pos(6), End: pos(10), NewText: []byte("BETA")}},
+			}},
+		},
+	}
+	out, conflicts, err := ApplyFixes(fset, diags, map[string][]byte{"a.go": []byte(src)})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Analyzer != "second" {
+		t.Fatalf("conflicts = %+v, want the later-position fix skipped", conflicts)
+	}
+	if got, want := string(out["a.go"]), "alpha BETA gamma\n"; got != want {
+		t.Errorf("fixed content = %q, want %q", got, want)
+	}
+}
+
+func TestApplyFixesAtomicPerFix(t *testing.T) {
+	fset := token.NewFileSet()
+	src := "alpha beta gamma\n"
+	pos := fixFile(fset, "a.go", src)
+
+	diags := []Diagnostic{
+		{
+			Analyzer: "first",
+			Pos:      pos(0),
+			SuggestedFixes: []SuggestedFix{{
+				Message:   "take alpha",
+				TextEdits: []TextEdit{{Pos: pos(0), End: pos(5), NewText: []byte("A")}},
+			}},
+		},
+		// Two edits; the first overlaps nothing, the second overlaps the
+		// accepted fix — neither may apply.
+		{
+			Analyzer: "second",
+			Pos:      pos(11),
+			SuggestedFixes: []SuggestedFix{{
+				Message: "gamma and alpha",
+				TextEdits: []TextEdit{
+					{Pos: pos(11), End: pos(16), NewText: []byte("G")},
+					{Pos: pos(2), End: pos(4), NewText: []byte("!")},
+				},
+			}},
+		},
+	}
+	out, conflicts, err := ApplyFixes(fset, diags, map[string][]byte{"a.go": []byte(src)})
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Analyzer != "second" {
+		t.Fatalf("conflicts = %+v, want second skipped entirely", conflicts)
+	}
+	if got, want := string(out["a.go"]), "A beta gamma\n"; got != want {
+		t.Errorf("fixed content = %q, want %q (no half-applied fix)", got, want)
+	}
+}
+
+func TestApplyFixesNoFixesNoOutput(t *testing.T) {
+	fset := token.NewFileSet()
+	pos := fixFile(fset, "a.go", "x\n")
+	out, conflicts, err := ApplyFixes(fset, []Diagnostic{{Analyzer: "x", Pos: pos(0), Message: "no fix here"}}, nil)
+	if err != nil {
+		t.Fatalf("ApplyFixes: %v", err)
+	}
+	if len(out) != 0 || len(conflicts) != 0 {
+		t.Errorf("out=%v conflicts=%v, want empty", out, conflicts)
+	}
+}
+
+func TestUnifiedDiff(t *testing.T) {
+	if d := UnifiedDiff("a.go", []byte("one\ntwo\n"), []byte("one\ntwo\n")); d != "" {
+		t.Errorf("identical content produced a diff: %q", d)
+	}
+	d := UnifiedDiff("a.go", []byte("one\ntwo\nthree\n"), []byte("one\ntwo fixed\nthree\n"))
+	if !strings.Contains(d, "-two") || !strings.Contains(d, "+two fixed") {
+		t.Errorf("diff missing changed lines:\n%s", d)
+	}
+	if !strings.Contains(d, "--- a.go") {
+		t.Errorf("diff missing header:\n%s", d)
+	}
+}

@@ -74,6 +74,110 @@ var f int
 	}
 }
 
+// TestDirectivesCoveringOneLine pins the overlap semantics: a full-line
+// directive above a statement and a trailing directive on the statement
+// itself both cover that statement's line, each for its own analyzer.
+func TestDirectivesCoveringOneLine(t *testing.T) {
+	src := `package p
+
+//lint:ignore lglint/simclockcheck the wire FSM needs real deadlines
+var x = 1 //lint:ignore lglint/maporder iteration feeds a sorted slice
+`
+	dirs, malformed, _ := parseOne(t, src)
+	if len(malformed) != 0 {
+		t.Fatalf("unexpected malformed diagnostics: %+v", malformed)
+	}
+	if len(dirs) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(dirs), dirs)
+	}
+	pos := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }
+	// Line 4 holds the statement: covered by the line-3 directive (next
+	// line) and by its own trailing directive (same line).
+	if !suppressed(dirs, pos(4), "simclockcheck") {
+		t.Error("full-line directive above should cover the statement line")
+	}
+	if !suppressed(dirs, pos(4), "maporder") {
+		t.Error("trailing directive should cover its own line")
+	}
+	// Neither directive names the other's analyzer anywhere else.
+	if suppressed(dirs, pos(3), "maporder") {
+		t.Error("trailing directive must not reach the line above")
+	}
+}
+
+// TestDirectiveAboveMultiLineStatement pins the coverage contract for
+// statements that span several lines: analyzers report at the statement's
+// opening position, which the directive on the line above covers; lines
+// deeper inside the statement are NOT covered, so a diagnostic anchored
+// mid-statement still fires.
+func TestDirectiveAboveMultiLineStatement(t *testing.T) {
+	src := `package p
+
+func g(a, b int) {}
+
+func f() {
+	//lint:ignore lglint/maporder the iteration feeds a sorted slice
+	g(
+		1,
+		2,
+	)
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	known := map[string]bool{"maporder": true}
+	dirs, malformed := parseDirectives(fset, []*ast.File{f}, known)
+	if len(malformed) != 0 || len(dirs) != 1 {
+		t.Fatalf("dirs = %+v, malformed = %+v", dirs, malformed)
+	}
+
+	var call *ast.CallExpr
+	ast.Inspect(f, func(n ast.Node) bool {
+		if c, ok := n.(*ast.CallExpr); ok {
+			call = c
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("no call expression found")
+	}
+	head := fset.Position(call.Pos())
+	if head.Line != dirs[0].line+1 {
+		t.Fatalf("call head on line %d, directive on line %d: fixture drifted", head.Line, dirs[0].line)
+	}
+	if !suppressed(dirs, head, "maporder") {
+		t.Error("diagnostic at the statement head should be suppressed")
+	}
+	tail := fset.Position(call.Rparen)
+	if suppressed(dirs, tail, "maporder") {
+		t.Errorf("diagnostic at line %d, deep inside the statement, must not be suppressed", tail.Line)
+	}
+}
+
+// TestUnknownNameAlongsideKnown pins that one bad name poisons the whole
+// directive: it warns, and the known names on the same line suppress
+// nothing (a half-working suppression would hide the typo).
+func TestUnknownNameAlongsideKnown(t *testing.T) {
+	src := `package p
+
+//lint:ignore lglint/maporder,lglint/nope reason given
+var y = 1
+`
+	dirs, malformed, _ := parseOne(t, src)
+	if len(dirs) != 0 {
+		t.Fatalf("directive with an unknown name must be dropped, got %+v", dirs)
+	}
+	if len(malformed) != 1 || !strings.Contains(malformed[0].Message, `unknown analyzer "lglint/nope"`) {
+		t.Fatalf("malformed = %+v, want one unknown-analyzer warning", malformed)
+	}
+	if suppressed(dirs, token.Position{Filename: "x.go", Line: 4}, "maporder") {
+		t.Error("known name on a poisoned directive must not suppress")
+	}
+}
+
 func TestSuppressed(t *testing.T) {
 	dirs := []directive{{file: "x.go", line: 10, names: map[string]bool{"maporder": true}}}
 	pos := func(line int) token.Position { return token.Position{Filename: "x.go", Line: line} }

@@ -1,0 +1,314 @@
+// Package journaltaint keeps wall-clock and RNG-derived values out of the
+// deterministic record: the obs journal and the report encoders exist so
+// that two runs of the same seed produce byte-identical artifacts, and a
+// single time.Now().UnixNano() or rand.Int() smuggled into a journal
+// field breaks that property in a way no unit test notices until a diff
+// of two CI runs disagrees. Values must come from the simulated clock and
+// the seeded experiment RNG instead.
+//
+// The analyzer runs a small taint analysis on top of the reaching-
+// definitions engine. Sources are time.Now/Since/Until, the package-level
+// generators of math/rand (v1 and v2, constructors excepted — a *Rand
+// seeded explicitly is the sanctioned path), all of crypto/rand, and any
+// function already known to return wall-derived data. That last class is
+// the cross-package half: a package whose function returns a tainted
+// value gets a WallDerived fact exported for it — iterated to a fixpoint
+// within the package, carried along the import DAG between packages — so
+// a helper that launders time.Now through two calls and a struct-free
+// data path is still caught at the sink. Sinks are Journal.Record and the
+// Snapshot.Write* encoders.
+package journaltaint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lifeguard/internal/analysis"
+	"lifeguard/internal/analysis/dataflow"
+)
+
+// WallDerived marks a function whose return value derives from the wall
+// clock or an unseeded RNG.
+type WallDerived struct{}
+
+// AFact marks WallDerived as a fact type.
+func (*WallDerived) AFact() {}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "journaltaint",
+	Doc: "flag wall-clock/RNG-derived values flowing into the journal or report encoders (cross-package via facts)\n" +
+		"\nJournal.Record and Snapshot.Write* feed byte-identical deterministic artifacts;" +
+		" a time.Now or rand-derived value in a field breaks replay comparison. Use the" +
+		" simulated clock and the seeded experiment RNG.",
+	FactTypes: []analysis.Fact{(*WallDerived)(nil)},
+	Run:       run,
+}
+
+func run(pass *analysis.Pass) error {
+	t := &tainter{pass: pass, local: map[*types.Func]bool{}}
+	t.exportFacts()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				t.checkSinks(fn)
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						t.checkSinks(lit)
+					}
+					return true
+				})
+			}
+		}
+	}
+	return nil
+}
+
+type tainter struct {
+	pass *analysis.Pass
+	// local accumulates this package's wall-derived functions during the
+	// fixpoint, including unexported ones facts cannot name.
+	local map[*types.Func]bool
+}
+
+// exportFacts iterates the package's function declarations to a fixpoint:
+// a function returning a tainted value taints its local callers, which
+// may taint theirs.
+func (t *tainter) exportFacts() {
+	for changed := true; changed; {
+		changed = false
+		for _, f := range t.pass.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := t.pass.TypesInfo.Defs[fn.Name].(*types.Func)
+				if !ok || t.local[obj] {
+					continue
+				}
+				if t.returnsTainted(fn) {
+					t.local[obj] = true
+					t.pass.ExportObjectFact(obj, &WallDerived{})
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+// returnsTainted reports whether any return path of fn yields a tainted
+// value.
+func (t *tainter) returnsTainted(fn *ast.FuncDecl) bool {
+	sig, ok := t.pass.TypesInfo.Defs[fn.Name].Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	flow := dataflow.NewFunc(fn, t.pass.TypesInfo)
+	tainted := t.solve(flow)
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			if t.exprTainted(flow, tainted, e) {
+				found = true
+			}
+		}
+		return true
+	})
+	if found {
+		return true
+	}
+	// Bare returns with named results: conservatively tainted if any
+	// tainted definition targets a result variable.
+	for i := 0; i < sig.Results().Len(); i++ {
+		res := sig.Results().At(i)
+		if res.Name() == "" {
+			continue
+		}
+		for d := range tainted {
+			if d.Obj == res {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkSinks flags tainted arguments at sink calls within one function
+// body (literals get their own call).
+func (t *tainter) checkSinks(fn ast.Node) {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return
+	}
+	var flow *dataflow.Flow
+	var tainted map[*dataflow.Def]bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != fn {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sink := sinkName(t.pass, call)
+		if sink == "" {
+			return true
+		}
+		if flow == nil {
+			flow = dataflow.NewFunc(fn, t.pass.TypesInfo)
+			tainted = t.solve(flow)
+		}
+		for _, arg := range call.Args {
+			if t.exprTainted(flow, tainted, arg) {
+				t.pass.Reportf(arg.Pos(), "wall-clock/RNG-derived value reaches %s: deterministic artifacts must derive from the sim clock and seeded RNG", sink)
+			}
+		}
+		return true
+	})
+}
+
+// solve computes the tainted definitions of one function to a fixpoint.
+func (t *tainter) solve(flow *dataflow.Flow) map[*dataflow.Def]bool {
+	tainted := map[*dataflow.Def]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, d := range flow.Defs() {
+			if tainted[d] || d.Src == nil {
+				continue
+			}
+			if t.exprTainted(flow, tainted, d.Src) {
+				tainted[d] = true
+				changed = true
+			}
+		}
+	}
+	return tainted
+}
+
+// exprTainted reports whether e contains a source call or a use of a
+// variable with a tainted reaching definition. Function literal bodies
+// are skipped: capturing a tainted value is not yet recording it.
+func (t *tainter) exprTainted(flow *dataflow.Flow, tainted map[*dataflow.Def]bool, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if t.isSourceCall(n) {
+				found = true
+				return false
+			}
+		case *ast.Ident:
+			for _, d := range flow.DefsReaching(n) {
+				if tainted[d] {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSourceCall reports whether call introduces wall-clock or RNG taint.
+func (t *tainter) isSourceCall(call *ast.CallExpr) bool {
+	obj := calleeObj(t.pass, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	if t.local[fn] {
+		return true
+	}
+	if t.pass.ImportObjectFact(fn, &WallDerived{}) {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch pkg.Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return true
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level generators draw from the global, wall-seeded
+		// source; the New* constructors take an explicit seed and are the
+		// sanctioned path.
+		if fn.Type().(*types.Signature).Recv() == nil && !strings.HasPrefix(fn.Name(), "New") {
+			return true
+		}
+	case "crypto/rand":
+		return true
+	}
+	return false
+}
+
+// sinkName identifies deterministic-record sinks: Journal.Record and the
+// Snapshot.Write* encoders. Returns "" for non-sinks.
+func sinkName(pass *analysis.Pass, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	m, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := m.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	recv := recvTypeName(sig.Recv().Type())
+	switch {
+	case recv == "Journal" && m.Name() == "Record":
+		return "Journal.Record"
+	case recv == "Snapshot" && strings.HasPrefix(m.Name(), "Write"):
+		return "Snapshot." + m.Name()
+	}
+	return ""
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := types.Unalias(t).(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := types.Unalias(t).(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}

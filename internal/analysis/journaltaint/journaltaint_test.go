@@ -1,0 +1,11 @@
+package journaltaint
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestJournaltaint(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "api", "b", "clean", "ignore")
+}

@@ -1,0 +1,56 @@
+// Package a exercises wall-clock and RNG taint reaching sinks within one
+// package.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+type F struct {
+	K string
+	V any
+}
+
+type Journal struct{}
+
+func (j *Journal) Record(vtime int64, subsystem, kind string, fields ...F) {}
+
+type Snapshot struct{}
+
+func (s Snapshot) WriteJSON(path string) error { return nil }
+
+func direct(j *Journal) {
+	j.Record(time.Now().UnixNano(), "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func viaVariable(j *Journal) {
+	t := time.Now()
+	j.Record(t.UnixNano(), "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func viaBranch(j *Journal, c bool) {
+	v := int64(0)
+	if c {
+		v = time.Now().UnixNano()
+	}
+	j.Record(v, "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func globalRand(j *Journal) {
+	j.Record(0, "probe", "sent", F{K: "jitter", V: rand.Int()}) // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func taintedPath(s Snapshot) error {
+	suffix := rand.Intn(100)
+	path := "out-" + string(rune('0'+suffix%10)) + ".json"
+	return s.WriteJSON(path) // want `wall-clock/RNG-derived value reaches Snapshot\.WriteJSON`
+}
+
+// stamp is unexported: the intra-package fixpoint, not a fact, must carry
+// the taint to its caller.
+func stamp() int64 { return time.Now().UnixNano() }
+
+func viaHelper(j *Journal) {
+	j.Record(stamp(), "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}

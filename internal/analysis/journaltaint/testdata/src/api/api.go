@@ -1,0 +1,31 @@
+// Package api is the fact-exporting dependency: functions returning
+// wall-derived values carry WallDerived facts, including one laundered
+// through a second hop.
+package api
+
+import "time"
+
+type F struct {
+	K string
+	V any
+}
+
+type Journal struct{}
+
+func (j *Journal) Record(vtime int64, subsystem, kind string, fields ...F) {}
+
+type Snapshot struct{}
+
+func (s Snapshot) WriteJSON(path string) error { return nil }
+
+// Stamp is wall-derived: a WallDerived fact marks it for importers.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Launder is wall-derived only transitively, through Stamp.
+func Launder() int64 {
+	v := Stamp()
+	return v/1000 + 1
+}
+
+// SimNow derives from the caller-supplied step: clean.
+func SimNow(step int64) int64 { return step * 10 }

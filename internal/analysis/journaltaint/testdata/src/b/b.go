@@ -1,0 +1,18 @@
+// Package b records through api across the package boundary: the
+// WallDerived facts exported while analyzing api drive the diagnostics.
+package b
+
+import "api"
+
+func direct(j *api.Journal) {
+	j.Record(api.Stamp(), "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func laundered(j *api.Journal) {
+	v := api.Launder()
+	j.Record(v, "probe", "sent") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}
+
+func simClock(j *api.Journal, step int64) {
+	j.Record(api.SimNow(step), "probe", "sent")
+}

@@ -1,0 +1,47 @@
+// Package clean holds the accepted forms: sim-clock values, explicitly
+// seeded RNGs, and wall-clock reads that never reach a sink.
+package clean
+
+import (
+	"math/rand"
+	"time"
+)
+
+type F struct {
+	K string
+	V any
+}
+
+type Journal struct{}
+
+func (j *Journal) Record(vtime int64, subsystem, kind string, fields ...F) {}
+
+type Snapshot struct{}
+
+func (s Snapshot) WriteJSON(path string) error { return nil }
+
+func simClock(j *Journal, vtime int64) {
+	j.Record(vtime, "probe", "sent")
+}
+
+func seededRand(j *Journal, seed int64) {
+	r := rand.New(rand.NewSource(seed))
+	j.Record(0, "probe", "sent", F{K: "jitter", V: r.Int()})
+}
+
+func wallClockNotRecorded(j *Journal, vtime int64) time.Duration {
+	start := time.Now()
+	j.Record(vtime, "probe", "sent")
+	return time.Since(start)
+}
+
+func rebound(j *Journal, vtime int64) {
+	v := time.Now().UnixNano()
+	_ = v
+	v = vtime
+	j.Record(v, "probe", "sent")
+}
+
+func fixedPath(s Snapshot) error {
+	return s.WriteJSON("out.json")
+}

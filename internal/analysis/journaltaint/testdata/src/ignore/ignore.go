@@ -1,0 +1,17 @@
+// Package ignore shows the suppression escape hatch.
+package ignore
+
+import "time"
+
+type Journal struct{}
+
+func (j *Journal) Record(vtime int64, subsystem, kind string) {}
+
+func suppressed(j *Journal) {
+	//lint:ignore lglint/journaltaint wall-clock debugging journal, never diffed across runs
+	j.Record(time.Now().UnixNano(), "debug", "mark")
+}
+
+func notSuppressed(j *Journal) {
+	j.Record(time.Now().UnixNano(), "debug", "mark") // want `wall-clock/RNG-derived value reaches Journal\.Record`
+}

@@ -1,0 +1,11 @@
+package obsregistry
+
+import (
+	"testing"
+
+	"lifeguard/internal/analysis/analysistest"
+)
+
+func TestObsregistry(t *testing.T) {
+	analysistest.Run(t, ".", Analyzer, "a", "api", "b", "clean", "ignore")
+}

@@ -1,0 +1,51 @@
+// Package a exercises handle creation inside fan-out closures within one
+// package.
+package a
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter              { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter                { return &Counter{} }
+func (r *Registry) Histogram(name string, b []float64) *Counter { return &Counter{} }
+func (r *Registry) Describe(name, help string)                {}
+func (r *Registry) Merge(src *Registry)                       {}
+
+type Config struct {
+	Obs *Registry
+}
+
+func Map(n int, trial func(trial int) error) error {
+	for i := 0; i < n; i++ {
+		if err := trial(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func escapingParam(reg *Registry) {
+	Map(4, func(trial int) error {
+		reg.Counter("trials_total").Inc() // want `obs registry Counter inside a Map trial closure on an escaping registry`
+		return nil
+	})
+}
+
+func escapingLocal() {
+	reg := &Registry{}
+	Map(4, func(trial int) error {
+		reg.Describe("trials_total", "completed trials") // want `obs registry Describe inside a Map trial closure on an escaping registry`
+		return nil
+	})
+}
+
+func escapingField(cfg Config) {
+	Map(4, func(trial int) error {
+		g := cfg.Obs.Gauge("inflight") // want `obs registry Gauge inside a Map trial closure on an escaping registry`
+		g.Inc()
+		return nil
+	})
+}

@@ -1,0 +1,37 @@
+// Package api is the fact-exporting dependency: its Map/Reduce functions
+// carry FanOut facts, and it defines the Registry handle API.
+package api
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+func (r *Registry) Gauge(name string) *Counter   { return &Counter{} }
+func (r *Registry) Describe(name, help string)   {}
+func (r *Registry) Merge(src *Registry)          {}
+
+func Map[T any](n int, trial func(trial int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	for i := range out {
+		v, err := trial(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func Reduce[A any](n int, init A, trial func(trial int) error, merge func(acc A, trial int) A) (A, error) {
+	acc := init
+	for i := 0; i < n; i++ {
+		if err := trial(i); err != nil {
+			return acc, err
+		}
+		acc = merge(acc, i)
+	}
+	return acc, nil
+}

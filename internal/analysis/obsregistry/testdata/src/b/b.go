@@ -1,0 +1,37 @@
+// Package b fans out through api across the package boundary: the FanOut
+// facts exported while analyzing api drive the diagnostics here.
+package b
+
+import "api"
+
+func escaping(reg *api.Registry) ([]int, error) {
+	return api.Map(4, func(trial int) (int, error) {
+		reg.Counter("trials_total").Inc() // want `obs registry Counter inside a api\.Map trial closure on an escaping registry`
+		return trial, nil
+	})
+}
+
+func escapingReduce(reg *api.Registry) (int, error) {
+	return api.Reduce(4, 0, func(trial int) error {
+		reg.Describe("acc", "accumulated trials") // want `obs registry Describe inside a api\.Reduce trial closure on an escaping registry`
+		return nil
+	}, func(acc, trial int) int { return acc + trial })
+}
+
+func perTrial() ([]int, error) {
+	shared := &api.Registry{}
+	return api.Map(4, func(trial int) (int, error) {
+		local := &api.Registry{}
+		local.Counter("trials_total").Inc()
+		shared.Merge(local)
+		return trial, nil
+	})
+}
+
+func preCreated(reg *api.Registry) ([]int, error) {
+	c := reg.Counter("trials_total")
+	return api.Map(4, func(trial int) (int, error) {
+		c.Inc()
+		return trial, nil
+	})
+}

@@ -1,0 +1,50 @@
+// Package clean holds the accepted forms: handles created before the
+// fan-out, per-trial registries merged afterwards, and registry calls in
+// ordinary (non-fan-out) closures.
+package clean
+
+type Counter struct{ n int64 }
+
+func (c *Counter) Inc() { c.n++ }
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter { return &Counter{} }
+func (r *Registry) Describe(name, help string)   {}
+func (r *Registry) Merge(src *Registry)          {}
+
+func Map(n int, trial func(trial int) error) error {
+	for i := 0; i < n; i++ {
+		if err := trial(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func handlesBeforeFanOut(reg *Registry) error {
+	trials := reg.Counter("trials_total")
+	return Map(4, func(trial int) error {
+		trials.Inc()
+		return nil
+	})
+}
+
+func perTrialRegistry(shared *Registry) error {
+	return Map(4, func(trial int) error {
+		local := &Registry{}
+		local.Counter("trials_total").Inc()
+		shared.Merge(local)
+		return nil
+	})
+}
+
+// visit is not a fan-out: closures given to it may touch the registry.
+func visit(f func() error) error { return f() }
+
+func ordinaryClosure(reg *Registry) error {
+	return visit(func() error {
+		reg.Counter("setup_total").Inc()
+		return nil
+	})
+}

@@ -1,0 +1,30 @@
+// Package ignore shows the suppression escape hatch.
+package ignore
+
+type Registry struct{}
+
+func (r *Registry) Describe(name, help string) {}
+
+func Map(n int, trial func(trial int) error) error {
+	for i := 0; i < n; i++ {
+		if err := trial(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func suppressed(reg *Registry) error {
+	return Map(1, func(trial int) error {
+		//lint:ignore lglint/obsregistry n==1 here: no concurrency, describing lazily is safe
+		reg.Describe("trials_total", "completed trials")
+		return nil
+	})
+}
+
+func notSuppressed(reg *Registry) error {
+	return Map(1, func(trial int) error {
+		reg.Describe("trials_total", "completed trials") // want `obs registry Describe inside a Map trial closure on an escaping registry`
+		return nil
+	})
+}

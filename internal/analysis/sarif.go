@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Encoders that surface lint findings on CI: SARIF 2.1.0 (consumed by
+// `github/codeql-action/upload-sarif`, which renders findings inline on
+// PRs) and GitHub workflow-command annotations (::error lines, rendered
+// without any upload step). Both are driven by cmd/lglint's standalone
+// mode; output is deterministic — findings are already position-sorted by
+// analysis.Run and rules are emitted in name order.
+
+// sarif 2.1.0 skeleton — only the fields the GitHub code-scanning ingester
+// reads.
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+	FullDescription  sarifText `json:"fullDescription,omitempty"`
+}
+
+type sarifText struct {
+	Text string `json:"text,omitempty"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SARIF encodes diagnostics as a SARIF 2.1.0 log. File paths are made
+// relative to root (typically the module root) so the URIs match the
+// repository layout GitHub expects; paths outside root are kept absolute.
+func SARIF(fset *token.FileSet, diags []Diagnostic, analyzers []*Analyzer, root string) ([]byte, error) {
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Name] = a
+	}
+
+	// Rules: every analyzer that produced at least one finding, plus the
+	// directive checker when it fired. Name order.
+	used := map[string]bool{}
+	for _, d := range diags {
+		used[d.Analyzer] = true
+	}
+	var names []string
+	for n := range used {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	rules := make([]sarifRule, 0, len(names))
+	for _, n := range names {
+		r := sarifRule{ID: ruleID(n)}
+		if a, ok := byName[n]; ok {
+			r.ShortDescription = sarifText{Text: firstLine(a.Doc)}
+			r.FullDescription = sarifText{Text: a.Doc}
+		} else {
+			r.ShortDescription = sarifText{Text: "problems with //lint:ignore suppression directives"}
+		}
+		rules = append(rules, r)
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		results = append(results, sarifResult{
+			RuleID:  ruleID(d.Analyzer),
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{PhysicalLocation: sarifPhysical{
+				ArtifactLocation: sarifArtifact{URI: relURI(root, posn.Filename)},
+				Region:           sarifRegion{StartLine: posn.Line, StartColumn: posn.Column},
+			}}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "lglint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	return json.MarshalIndent(log, "", "  ")
+}
+
+// ruleID is the SARIF rule identifier for an analyzer name, matching the
+// suppression-directive spelling.
+func ruleID(analyzer string) string {
+	if analyzer == DirectiveCheckerName {
+		return DirectiveCheckerName
+	}
+	return ourPrefix + analyzer
+}
+
+// relURI relativizes file against root with forward slashes, as SARIF
+// artifact URIs require.
+func relURI(root, file string) string {
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+			return filepath.ToSlash(rel)
+		}
+	}
+	return filepath.ToSlash(file)
+}
+
+// GitHubAnnotations renders diagnostics as GitHub Actions workflow
+// commands, one ::error line per finding, which the Actions runner turns
+// into inline PR annotations with no upload step.
+func GitHubAnnotations(fset *token.FileSet, diags []Diagnostic, root string) string {
+	var sb strings.Builder
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		fmt.Fprintf(&sb, "::error file=%s,line=%d,col=%d,title=%s::%s\n",
+			ghEscapeProp(relURI(root, posn.Filename)), posn.Line, posn.Column,
+			ghEscapeProp(ruleID(d.Analyzer)), ghEscapeData(d.Message))
+	}
+	return sb.String()
+}
+
+// ghEscapeData escapes a workflow-command message per the Actions runner's
+// rules.
+func ghEscapeData(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
+}
+
+// ghEscapeProp escapes a workflow-command property value.
+func ghEscapeProp(s string) string {
+	s = ghEscapeData(s)
+	s = strings.ReplaceAll(s, ":", "%3A")
+	s = strings.ReplaceAll(s, ",", "%2C")
+	return s
+}

@@ -1,0 +1,114 @@
+package analysis
+
+import (
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func sarifFixtures(t *testing.T) (*token.FileSet, []Diagnostic, []*Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	src := "package p\nvar x = 1\n"
+	f := fset.AddFile("/repo/internal/p/p.go", -1, len(src))
+	f.SetLinesForContent([]byte(src))
+	diags := []Diagnostic{
+		{Analyzer: "maporder", Pos: f.Pos(10), Message: "nondeterministic iteration"},
+		{Analyzer: "errcontract", Pos: f.Pos(14), Message: "error 100% discarded\nsecond line"},
+	}
+	analyzers := []*Analyzer{
+		{Name: "maporder", Doc: "first line of maporder\n\nmore detail"},
+		{Name: "errcontract", Doc: "first line of errcontract"},
+	}
+	return fset, diags, analyzers
+}
+
+func TestSARIFShape(t *testing.T) {
+	fset, diags, analyzers := sarifFixtures(t)
+	data, err := SARIF(fset, diags, analyzers, "/repo")
+	if err != nil {
+		t.Fatalf("SARIF: %v", err)
+	}
+	var log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID               string `json:"id"`
+						ShortDescription struct {
+							Text string `json:"text"`
+						} `json:"shortDescription"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Message   struct{ Text string }
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine   int `json:"startLine"`
+							StartColumn int `json:"startColumn"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(data, &log); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-schema-2.1.0") {
+		t.Errorf("version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "lglint" {
+		t.Fatalf("runs/driver malformed")
+	}
+	run := log.Runs[0]
+	// Rules are name-sorted and carry the lglint/ prefix.
+	if len(run.Tool.Driver.Rules) != 2 ||
+		run.Tool.Driver.Rules[0].ID != "lglint/errcontract" ||
+		run.Tool.Driver.Rules[1].ID != "lglint/maporder" {
+		t.Errorf("rules = %+v", run.Tool.Driver.Rules)
+	}
+	if run.Tool.Driver.Rules[1].ShortDescription.Text != "first line of maporder" {
+		t.Errorf("shortDescription = %q, want the doc's first line", run.Tool.Driver.Rules[1].ShortDescription.Text)
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	r := run.Results[0]
+	if r.RuleID != "lglint/maporder" || r.Level != "error" {
+		t.Errorf("result[0] ruleId/level = %q/%q", r.RuleID, r.Level)
+	}
+	loc := r.Locations[0].PhysicalLocation
+	if loc.ArtifactLocation.URI != "internal/p/p.go" {
+		t.Errorf("uri = %q, want repo-relative forward-slash path", loc.ArtifactLocation.URI)
+	}
+	if loc.Region.StartLine != 2 || loc.Region.StartColumn != 1 {
+		t.Errorf("region = %+v, want line 2 col 1", loc.Region)
+	}
+}
+
+func TestGitHubAnnotations(t *testing.T) {
+	fset, diags, _ := sarifFixtures(t)
+	out := GitHubAnnotations(fset, diags, "/repo")
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("annotation lines = %d, want 2:\n%s", len(lines), out)
+	}
+	if want := "::error file=internal/p/p.go,line=2,col=5,title=lglint/errcontract::error 100%25 discarded%0Asecond line"; lines[1] != want {
+		t.Errorf("annotation = %q\nwant         %q", lines[1], want)
+	}
+	if !strings.HasPrefix(lines[0], "::error file=internal/p/p.go,line=2,col=1,title=lglint/maporder::") {
+		t.Errorf("annotation[0] = %q", lines[0])
+	}
+}

@@ -1,0 +1,339 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// This file is the standalone driver: `lglint [flags] ./...` without going
+// through `go vet`. It shells out to `go list -deps -export` for the
+// package graph and compiler export data, analyzes the module's packages
+// in dependency order with a shared fact set (so cross-package facts flow
+// exactly as they do under the vet protocol), and owns the output modes
+// the vet protocol has no room for: -json, -sarif, -github, and -fix with
+// conflict detection and a -dry-run diff preview.
+//
+// Exit codes are part of the interface (CI scripts branch on them):
+//
+//	0  no findings
+//	1  findings reported (also with -fix: fixes were needed)
+//	2  usage or load error (bad flags, package does not build)
+
+// StandaloneOptions selects the standalone driver's output mode.
+type StandaloneOptions struct {
+	JSON   bool // one machine-readable JSON array on stdout
+	SARIF  bool // SARIF 2.1.0 log on stdout (for upload-sarif)
+	GitHub bool // ::error workflow commands on stdout
+	Fix    bool // apply suggested fixes to the source files
+	DryRun bool // with Fix: print unified diffs instead of writing
+}
+
+// listedPackage is the subset of `go list -json` output the driver needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	Export     string
+	Imports    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// RunStandalone loads the packages matched by patterns plus their
+// dependencies, analyzes them in dependency order, and renders findings
+// per opts. Returns the process exit code.
+func RunStandalone(progname string, analyzers []*Analyzer, patterns []string, opts StandaloneOptions) int {
+	usageErr := func(err error) int {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	if n := btoi(opts.JSON) + btoi(opts.SARIF) + btoi(opts.GitHub); n > 1 {
+		return usageErr(fmt.Errorf("-json, -sarif, and -github are mutually exclusive"))
+	}
+	if opts.DryRun && !opts.Fix {
+		return usageErr(fmt.Errorf("-dry-run requires -fix"))
+	}
+
+	pkgs, err := goList(patterns)
+	if err != nil {
+		return usageErr(err)
+	}
+
+	fset := token.NewFileSet()
+	facts := NewFactSet()
+	exports := map[string]string{}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+
+	var diags []Diagnostic
+	for _, p := range topoOrder(pkgs) {
+		if p.Standard {
+			continue // stdlib: typed through export data, never analyzed
+		}
+		var files []*ast.File
+		parseFailed := false
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				if p.DepOnly {
+					parseFailed = true
+					break
+				}
+				return usageErr(err)
+			}
+			files = append(files, f)
+		}
+		if parseFailed || len(files) == 0 {
+			continue
+		}
+		pkg, info, err := Typecheck(fset, files, p.ImportPath, runtime.Version(), nil, lookup)
+		if err != nil {
+			if p.DepOnly {
+				continue // a dep we cannot type: no facts, not fatal
+			}
+			return usageErr(fmt.Errorf("typechecking %s: %w", p.ImportPath, err))
+		}
+		run := analyzers
+		if p.DepOnly {
+			// Dependency pass: facts only, diagnostics belong to the
+			// matched packages.
+			run = nil
+			for _, a := range analyzers {
+				if len(a.FactTypes) > 0 {
+					run = append(run, a)
+				}
+			}
+			if len(run) == 0 {
+				continue
+			}
+		}
+		ds, err := Run(run, fset, files, pkg, info, facts)
+		if err != nil {
+			return usageErr(err)
+		}
+		if !p.DepOnly {
+			diags = append(diags, ds...)
+		}
+	}
+
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+
+	root := moduleRoot()
+	if opts.Fix {
+		return renderFix(progname, fset, diags, opts.DryRun)
+	}
+	switch {
+	case opts.JSON:
+		if err := writeJSON(os.Stdout, fset, diags); err != nil {
+			return usageErr(err)
+		}
+	case opts.SARIF:
+		data, err := SARIF(fset, diags, analyzers, root)
+		if err != nil {
+			return usageErr(err)
+		}
+		os.Stdout.Write(append(data, '\n'))
+	case opts.GitHub:
+		os.Stdout.WriteString(GitHubAnnotations(fset, diags, root))
+	default:
+		for _, d := range diags {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", fset.Position(d.Pos), d.Message, tag(d))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// renderFix applies (or, with dryRun, previews) the suggested fixes and
+// reports everything a fix cannot cover.
+func renderFix(progname string, fset *token.FileSet, diags []Diagnostic, dryRun bool) int {
+	fixed, conflicts, err := ApplyFixes(fset, diags, nil)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 2
+	}
+	files := make([]string, 0, len(fixed))
+	for f := range fixed {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, f := range files {
+		if dryRun {
+			old, err := os.ReadFile(f)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				return 2
+			}
+			os.Stdout.WriteString(UnifiedDiff(f, old, fixed[f]))
+		} else {
+			if err := os.WriteFile(f, fixed[f], 0o666); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+				return 2
+			}
+			fmt.Fprintf(os.Stderr, "%s: fixed %s\n", progname, f)
+		}
+	}
+	for _, c := range conflicts {
+		fmt.Fprintf(os.Stderr, "%s: conflicting fix skipped at %s: %s\n", progname, c.Pos, c.Message)
+	}
+	// Findings without a fix still need human attention.
+	for _, d := range diags {
+		if len(d.SuggestedFixes) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: %s (%s) [no automatic fix]\n", fset.Position(d.Pos), d.Message, tag(d))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// writeJSON renders findings as a JSON array: analyzer, position, message,
+// and whether a suggested fix exists.
+func writeJSON(w io.Writer, fset *token.FileSet, diags []Diagnostic) error {
+	type jsonDiag struct {
+		Analyzer string `json:"analyzer"`
+		Pos      string `json:"pos"`
+		Message  string `json:"message"`
+		HasFix   bool   `json:"has_fix"`
+	}
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			Analyzer: tag(d),
+			Pos:      fset.Position(d.Pos).String(),
+			Message:  d.Message,
+			HasFix:   len(d.SuggestedFixes) > 0,
+		})
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// goList runs `go list -deps -export` over the patterns and decodes the
+// package stream.
+func goList(patterns []string) ([]*listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,Standard,Export,Imports,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return nil, fmt.Errorf("go list %s: %s", strings.Join(patterns, " "), msg)
+	}
+	var pkgs []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts packages dependencies-first so facts exist before their
+// importers run. `go list -deps` already emits that order; the explicit
+// sort makes the driver independent of it.
+func topoOrder(pkgs []*listedPackage) []*listedPackage {
+	byPath := map[string]*listedPackage{}
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var out []*listedPackage
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(p *listedPackage)
+	visit = func(p *listedPackage) {
+		if state[p.ImportPath] != 0 {
+			return
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				visit(dep)
+			}
+		}
+		state[p.ImportPath] = 2
+		out = append(out, p)
+	}
+	for _, p := range pkgs {
+		visit(p)
+	}
+	return out
+}
+
+// moduleRoot finds the enclosing go.mod directory for relativizing output
+// paths; empty (absolute paths) when not in a module.
+func moduleRoot() string {
+	dir, err := os.Getwd()
+	if err != nil {
+		return ""
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return ""
+		}
+		dir = parent
+	}
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

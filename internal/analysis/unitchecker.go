@@ -59,17 +59,30 @@ func Main(analyzers ...*Analyzer) {
 	fs := flag.NewFlagSet(progname, flag.ExitOnError)
 	versionFlag := fs.String("V", "", "print version and exit (cmd/go passes -V=full)")
 	flagsFlag := fs.Bool("flags", false, "print analyzer flags as JSON and exit")
+	var opts StandaloneOptions
+	fs.BoolVar(&opts.JSON, "json", false, "standalone: emit findings as a JSON array on stdout")
+	fs.BoolVar(&opts.SARIF, "sarif", false, "standalone: emit a SARIF 2.1.0 log on stdout")
+	fs.BoolVar(&opts.GitHub, "github", false, "standalone: emit GitHub ::error annotations on stdout")
+	fs.BoolVar(&opts.Fix, "fix", false, "standalone: apply suggested fixes to the source files")
+	fs.BoolVar(&opts.DryRun, "dry-run", false, "with -fix: print unified diffs instead of writing files")
 	enable := make(map[string]*bool, len(analyzers))
 	for _, a := range analyzers {
 		enable[a.Name] = fs.Bool(a.Name, false, firstLine(a.Doc))
 	}
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: %s [-<analyzer>...] <package.cfg>\n\n", progname)
-		fmt.Fprintf(os.Stderr, "%s is a go vet tool: run it via `go vet -vettool=$(which %s) ./...`\n", progname, progname)
-		fmt.Fprintf(os.Stderr, "or `make lint`. Analyzers (all enabled unless specific ones are requested):\n\n")
+		fmt.Fprintf(os.Stderr, "usage: %s [flags] [-<analyzer>...] <packages|package.cfg>\n\n", progname)
+		fmt.Fprintf(os.Stderr, "%s runs two ways:\n", progname)
+		fmt.Fprintf(os.Stderr, "  as a vet tool:   go vet -vettool=$(which %s) ./...   (or `make lint`)\n", progname)
+		fmt.Fprintf(os.Stderr, "  standalone:      %s [-json|-sarif|-github] [-fix [-dry-run]] ./...\n\n", progname)
+		fmt.Fprintf(os.Stderr, "Standalone exit codes: 0 no findings, 1 findings reported,\n")
+		fmt.Fprintf(os.Stderr, "2 usage or load error. -fix does not change the exit code: a run\n")
+		fmt.Fprintf(os.Stderr, "that had anything to fix still exits 1.\n\n")
+		fmt.Fprintf(os.Stderr, "Analyzers (all enabled unless specific ones are requested):\n\n")
 		for _, a := range analyzers {
 			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, firstLine(a.Doc))
 		}
+		fmt.Fprintf(os.Stderr, "\nSuppress a finding with `//lint:ignore lglint/<analyzer> <reason>` on\n")
+		fmt.Fprintf(os.Stderr, "or directly above the offending line; the reason is mandatory.\n")
 	}
 	fs.Parse(os.Args[1:])
 
@@ -105,7 +118,7 @@ func Main(analyzers ...*Analyzer) {
 		os.Exit(0)
 	}
 
-	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+	if fs.NArg() == 0 {
 		fs.Usage()
 		os.Exit(2)
 	}
@@ -126,7 +139,10 @@ func Main(analyzers ...*Analyzer) {
 		}
 	}
 
-	os.Exit(runUnit(progname, fs.Arg(0), selected))
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		os.Exit(runUnit(progname, fs.Arg(0), selected))
+	}
+	os.Exit(RunStandalone(progname, selected, fs.Args(), opts))
 }
 
 func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
@@ -144,16 +160,66 @@ func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
 		return fail(fmt.Errorf("parsing %s: %w", cfgFile, err))
 	}
 
-	// cmd/go expects the facts file to exist afterward even though this
-	// suite exports no facts.
+	// Facts from every dependency the .cfg names. Missing or empty vetx
+	// files (pre-facts caches, deps that failed to analyze) decode as
+	// empty sets: absent facts mean fewer findings, never wrong ones.
+	facts := NewFactSet()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		if err := facts.Decode(data); err != nil {
+			return fail(fmt.Errorf("reading facts from %s: %w", vetx, err))
+		}
+	}
+
+	// cmd/go expects the facts file to exist afterward; it now carries the
+	// set of imported + newly exported facts for this package.
 	writeVetx := func() error {
 		if cfg.VetxOutput == "" {
 			return nil
 		}
-		return os.WriteFile(cfg.VetxOutput, []byte{}, 0o666)
+		data, err := facts.Encode()
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(cfg.VetxOutput, data, 0o666)
 	}
+
 	if cfg.VetxOnly {
-		// Dependency pass: cmd/go only wants facts, and we have none.
+		// Dependency pass: cmd/go only wants facts. Run the fact-bearing
+		// analyzers and discard their diagnostics. Dependencies include
+		// the whole standard library, which we did not write and cannot
+		// fix, so any failure here — parse, typecheck, analyzer panic —
+		// degrades to "no facts from this package" rather than breaking
+		// the lint run.
+		func() {
+			defer func() { recover() }() // a dep we can't analyze exports no facts
+			var factful []*Analyzer
+			for _, a := range analyzers {
+				if len(a.FactTypes) > 0 {
+					factful = append(factful, a)
+				}
+			}
+			if len(factful) == 0 {
+				return
+			}
+			fset := token.NewFileSet()
+			var files []*ast.File
+			for _, name := range cfg.GoFiles {
+				f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+				if err != nil {
+					return
+				}
+				files = append(files, f)
+			}
+			pkg, info, err := typecheck(fset, files, &cfg)
+			if err != nil {
+				return
+			}
+			Run(factful, fset, files, pkg, info, facts)
+		}()
 		if err := writeVetx(); err != nil {
 			return fail(err)
 		}
@@ -183,7 +249,7 @@ func runUnit(progname, cfgFile string, analyzers []*Analyzer) int {
 		return fail(fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err))
 	}
 
-	diags, err := Run(analyzers, fset, files, pkg, info)
+	diags, err := Run(analyzers, fset, files, pkg, info, facts)
 	if err != nil {
 		return fail(err)
 	}
@@ -217,6 +283,20 @@ func (f importerFunc) Import(path string) (*types.Package, error) { return f(pat
 // importer requires canonical paths. It is shared by the vet driver (lookup
 // built from the .cfg) and analysistest (lookup built from `go list -export`).
 func Typecheck(fset *token.FileSet, files []*ast.File, path, goVersion string, importMap func(path string) string, lookup func(path string) (io.ReadCloser, error)) (*types.Package, *types.Info, error) {
+	gc := importer.ForCompiler(fset, "gc", lookup)
+	return TypecheckImporter(fset, files, path, goVersion, importerFunc(func(p string) (*types.Package, error) {
+		if importMap != nil {
+			p = importMap(p)
+		}
+		return gc.Import(p)
+	}))
+}
+
+// TypecheckImporter is Typecheck with the import step fully delegated:
+// analysistest uses it to resolve testdata-local dependency packages from
+// source (so facts can flow between testdata packages) while everything
+// else comes from compiler export data.
+func TypecheckImporter(fset *token.FileSet, files []*ast.File, path, goVersion string, imp types.Importer) (*types.Package, *types.Info, error) {
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),
 		Defs:       make(map[*ast.Ident]types.Object),
@@ -225,14 +305,8 @@ func Typecheck(fset *token.FileSet, files []*ast.File, path, goVersion string, i
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	gc := importer.ForCompiler(fset, "gc", lookup)
 	tc := &types.Config{
-		Importer: importerFunc(func(p string) (*types.Package, error) {
-			if importMap != nil {
-				p = importMap(p)
-			}
-			return gc.Import(p)
-		}),
+		Importer:  imp,
 		Sizes:     types.SizesFor("gc", build.Default.GOARCH),
 		GoVersion: majorMinor(goVersion),
 	}
