@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke fuzz-smoke bench bench-smoke bench-all lglint lglint-bin clean
+.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
 
 all: build test lint
 
@@ -57,11 +57,11 @@ lint-sarif: lglint
 	if [ $$st -ge 2 ]; then exit $$st; fi
 	@echo "lint-sarif: wrote $(BIN)/lglint.sarif"
 
-# The packages with real concurrency: the wire-level session FSM, the
-# monitoring pipeline, and the parallel trial runner (plus the experiments
-# that fan out on it).
+# The packages with real concurrency: the sharded engine's barrier workers,
+# the wire-level session FSM, the monitoring pipeline, and the parallel
+# trial runner (plus the experiments that fan out on it).
 race:
-	$(GO) test -race ./internal/bgp/session/... ./internal/monitor/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/bgp/... ./internal/monitor/... ./internal/runner/... ./internal/experiments/...
 
 # debug-test reruns the simulation-bearing packages with the simclockdebug
 # ownership assertion compiled in: any scheduler touched from two
@@ -130,6 +130,17 @@ bench-smoke:
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x ./...
+
+# bench-scale measures Internet-scale convergence (200/2k/10k ASes, each
+# case in a fresh subprocess so peak-RSS readings are isolated) and
+# refreshes BENCH_pr7.json. bench-scale-smoke is the CI gate: one 2k-AS
+# full-table convergence under a wall-clock budget plus a worker-count
+# determinism diff (exit nonzero on either violation).
+bench-scale:
+	$(GO) run ./cmd/lgbench -scale -scale-out BENCH_pr7.json
+
+bench-scale-smoke:
+	$(GO) run ./cmd/lgbench -scale-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -112,7 +112,30 @@ func main() {
 	out := flag.String("out", "BENCH_pr4.json", "output JSON file; an existing file's baseline section is preserved")
 	suite := flag.Bool("suite", true, "also time the experiment suite sequentially vs in parallel")
 	seeds := flag.Int("seeds", 2, "seeds per experiment for the suite timing")
+	scale := flag.Bool("scale", false, "run the Internet-scale bench family (200/2k/10k ASes) instead of the micro-benchmarks")
+	scaleSmoke := flag.Bool("scale-smoke", false, "CI smoke: one 2k-AS case under a wall-clock budget plus a worker-count determinism diff")
+	scaleOut := flag.String("scale-out", "BENCH_pr7.json", "output file for -scale")
+	scaleCase := flag.String("scale-case", "", "internal: run one scale case from a JSON config and print the result (self-exec)")
 	flag.Parse()
+
+	if *scaleCase != "" {
+		runScaleCase(*scaleCase)
+		return
+	}
+	if *scaleSmoke {
+		if err := runScaleSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "lgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *scale {
+		if err := runScaleFamily(*scaleOut); err != nil {
+			fmt.Fprintln(os.Stderr, "lgbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	current, err := runBenchmarks(*benchtime)
 	if err != nil {

@@ -1,0 +1,233 @@
+package main
+
+// The scale family measures how the engine behaves as the topology grows
+// from hundreds to tens of thousands of ASes: full-table convergence
+// wall-clock, peak RSS, and routing-state size at 200, 2k, and 10k ASes,
+// plus a digest cross-check that the sharded event loop is byte-identical
+// across worker counts.
+//
+// Each case runs in a fresh subprocess (self-exec with -scale-case) so
+// VmHWM — which is monotone for a process lifetime — isolates that case's
+// peak memory instead of whichever case ran biggest first.
+//
+//	go run ./cmd/lgbench -scale                 # full family -> BENCH_pr7.json
+//	go run ./cmd/lgbench -scale-smoke           # CI: 2k case + determinism diff
+//	go run ./cmd/lgbench -scale-case '{"ases":200,...}'  # internal self-exec
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"time"
+
+	"lifeguard/internal/scalebench"
+)
+
+// scaleCases is the committed family. The 2k case runs at two worker
+// counts; equal digests are asserted, and the scaling section reads the
+// workers=1 run so the axis is topology size, not parallelism.
+var scaleCases = []scalebench.Config{
+	{ASes: 200, Prefixes: 200, Seed: 7, ShardWorkers: 1},
+	{ASes: 2000, Prefixes: 200, Seed: 7, ShardWorkers: 1},
+	{ASes: 2000, Prefixes: 200, Seed: 7, ShardWorkers: 4},
+	{ASes: 10000, Prefixes: 200, Seed: 7, ShardWorkers: 1},
+}
+
+// ScaleRatios compares one case against the 200-AS baseline. Sublinear
+// means the resource grew by a smaller factor than the AS count did —
+// the acceptance bar for the interned-path/delta-RIB memory model. The
+// per-route ratios normalize by loc-RIB size (ASes x prefixes), which
+// removes the baseline's smaller prefix table (a 200-AS topology has only
+// 155 stubs to originate from) from the comparison; note full-table
+// convergence work is necessarily Ω(ASes x prefixes), so the per-route
+// ratio — not the raw wall-clock ratio — is the per-unit-cost trend.
+type ScaleRatios struct {
+	ASRatio               float64 `json:"as_ratio"`
+	RouteRatio            float64 `json:"route_ratio"`
+	ConvergeRatio         float64 `json:"converge_ratio"`
+	PeakRSSRatio          float64 `json:"peak_rss_ratio"`
+	ConvergePerRouteRatio float64 `json:"converge_per_route_ratio"`
+	PeakRSSPerRouteRatio  float64 `json:"peak_rss_per_route_ratio"`
+	ConvergeSub           bool    `json:"converge_sublinear"`
+	PeakRSSSub            bool    `json:"peak_rss_sublinear"`
+}
+
+// ScaleReport is the BENCH_pr7.json schema.
+type ScaleReport struct {
+	Schema    string                 `json:"schema"`
+	GoVersion string                 `json:"go_version"`
+	Cases     []*scalebench.Result   `json:"cases"`
+	Scaling   map[string]ScaleRatios `json:"scaling_vs_200"`
+	// DigestMatch records the 2k-AS workers=1 vs workers=4 comparison —
+	// the determinism contract at scale.
+	DigestMatch bool `json:"digest_match_across_workers"`
+}
+
+// runScaleCase is the hidden subprocess entry: decode one config from the
+// -scale-case flag, run it in this fresh process, print the Result JSON.
+func runScaleCase(confJSON string) {
+	var cfg scalebench.Config
+	if err := json.Unmarshal([]byte(confJSON), &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "lgbench: bad -scale-case:", err)
+		os.Exit(1)
+	}
+	res, err := scalebench.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lgbench:", err)
+		os.Exit(1)
+	}
+	json.NewEncoder(os.Stdout).Encode(res)
+}
+
+// runCaseSubprocess self-execs one case so its VmHWM reading is clean.
+func runCaseSubprocess(cfg scalebench.Config) (*scalebench.Result, error) {
+	self, err := os.Executable()
+	if err != nil {
+		return nil, err
+	}
+	buf, err := json.Marshal(cfg)
+	if err != nil {
+		return nil, err
+	}
+	cmd := exec.Command(self, "-scale-case", string(buf))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("scale case %d ASes: %w", cfg.ASes, err)
+	}
+	var res scalebench.Result
+	if err := json.Unmarshal(out, &res); err != nil {
+		return nil, fmt.Errorf("scale case %d ASes: bad result: %w", cfg.ASes, err)
+	}
+	return &res, nil
+}
+
+// runScaleFamily executes every committed case and writes the report.
+func runScaleFamily(out string) error {
+	rep := ScaleReport{
+		Schema:    "lifeguard-scalebench/v1",
+		GoVersion: runtime.Version(),
+		Scaling:   make(map[string]ScaleRatios),
+	}
+	var baseline *scalebench.Result
+	digests := map[int]map[int]string{} // ASes -> workers -> digest
+	for _, cfg := range scaleCases {
+		fmt.Printf("lgbench: scale %d ASes x %d prefixes (workers=%d)...\n",
+			cfg.ASes, cfg.Prefixes, cfg.ShardWorkers)
+		res, err := runCaseSubprocess(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("lgbench:   converge %.0f ms, peak RSS %.1f MB, %d updates, digest %s\n",
+			res.ConvergeMS, res.VmHWMMB, res.Updates, res.Digest)
+		rep.Cases = append(rep.Cases, res)
+		if digests[res.ASes] == nil {
+			digests[res.ASes] = map[int]string{}
+		}
+		digests[res.ASes][res.ShardWorkers] = res.Digest
+		if res.ASes == 200 {
+			baseline = res
+		}
+	}
+
+	rep.DigestMatch = true
+	sizes := make([]int, 0, len(digests))
+	for ases := range digests {
+		sizes = append(sizes, ases)
+	}
+	sort.Ints(sizes)
+	for _, ases := range sizes {
+		byWorkers := digests[ases]
+		workers := make([]int, 0, len(byWorkers))
+		for w := range byWorkers {
+			workers = append(workers, w)
+		}
+		sort.Ints(workers)
+		first := byWorkers[workers[0]]
+		for _, w := range workers[1:] {
+			if byWorkers[w] != first {
+				rep.DigestMatch = false
+				fmt.Fprintf(os.Stderr, "lgbench: DIGEST MISMATCH at %d ASes: workers=%d got %s, workers=%d got %s\n",
+					ases, workers[0], first, w, byWorkers[w])
+			}
+		}
+	}
+
+	if baseline != nil {
+		for _, res := range rep.Cases {
+			if res.ASes == 200 || res.ShardWorkers != 1 {
+				continue
+			}
+			asR := float64(res.ASes) / float64(baseline.ASes)
+			r := ScaleRatios{ASRatio: asR}
+			if baseline.LocRIBRoutes > 0 {
+				r.RouteRatio = float64(res.LocRIBRoutes) / float64(baseline.LocRIBRoutes)
+			}
+			if baseline.ConvergeMS > 0 {
+				r.ConvergeRatio = res.ConvergeMS / baseline.ConvergeMS
+				r.ConvergeSub = r.ConvergeRatio < asR
+				if r.RouteRatio > 0 {
+					r.ConvergePerRouteRatio = r.ConvergeRatio / r.RouteRatio
+				}
+			}
+			if baseline.VmHWMMB > 0 {
+				r.PeakRSSRatio = res.VmHWMMB / baseline.VmHWMMB
+				r.PeakRSSSub = r.PeakRSSRatio < asR
+				if r.RouteRatio > 0 {
+					r.PeakRSSPerRouteRatio = r.PeakRSSRatio / r.RouteRatio
+				}
+			}
+			rep.Scaling[fmt.Sprintf("%d_ases", res.ASes)] = r
+		}
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("lgbench: wrote %d scale cases to %s\n", len(rep.Cases), out)
+	if !rep.DigestMatch {
+		return fmt.Errorf("determinism violation: digests diverged across worker counts")
+	}
+	return nil
+}
+
+// scaleSmokeBudget bounds the CI smoke's 2k-AS convergence wall-clock.
+const scaleSmokeBudget = 5 * time.Minute
+
+// runScaleSmoke is the CI gate: one 2k-AS case at workers 1 and 4,
+// in-process (peak RSS is not the smoke's concern), asserting the
+// determinism contract and a wall-clock budget. Nonzero exit on either
+// violation.
+func runScaleSmoke() error {
+	cfg := scalebench.Config{ASes: 2000, Prefixes: 50, Seed: 7, ShardWorkers: 1}
+	start := time.Now()
+	r1, err := scalebench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("lgbench: scale smoke: 2000 ASes converged in %v (sim %.0fs, %d updates, digest %s)\n",
+		elapsed.Round(time.Millisecond), r1.SimSeconds, r1.Updates, r1.Digest)
+	if elapsed > scaleSmokeBudget {
+		return fmt.Errorf("scale smoke: 2k-AS convergence took %v, budget %v", elapsed, scaleSmokeBudget)
+	}
+	cfg.ShardWorkers = 4
+	r4, err := scalebench.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if r4.Digest != r1.Digest || r4.Updates != r1.Updates {
+		return fmt.Errorf("scale smoke: workers 1 vs 4 diverged: digest %s/%s updates %d/%d",
+			r1.Digest, r4.Digest, r1.Updates, r4.Updates)
+	}
+	fmt.Println("lgbench: scale smoke: workers 1 vs 4 byte-identical (SCALE-SMOKE-OK)")
+	return nil
+}

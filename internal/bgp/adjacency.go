@@ -32,25 +32,26 @@ func (e *Engine) SetAdjacencyDown(a, b topo.ASN, down bool) {
 
 // AdjacencyDown reports whether the session between a and b is failed.
 func (e *Engine) AdjacencyDown(a, b topo.ASN) bool {
-	return e.speakers[a].downNbrs[b]
+	return e.speakers[a].neighborDown(b)
 }
 
 func (s *Speaker) setNeighborDown(n topo.ASN, down bool) {
-	if s.downNbrs[n] == down {
+	i := s.nbrIndex(n)
+	st := &s.out[i]
+	if st.down == down {
 		return
 	}
+	st.down = down
 	if down {
-		s.downNbrs[n] = true
 		// Session loss: everything learned from n evaporates at once,
 		// and our send state toward n resets (no withdrawals cross a
 		// dead session).
-		st := s.out[n]
-		clear(st.pending)
+		st.pending = nil
 		clear(st.lastAdv)
 		var changed []netip.Prefix
-		for prefix, m := range s.adjIn {
-			if m[n] != nil {
-				delete(m, n)
+		for prefix, rb := range s.adjIn {
+			if idx := rb.find(n); idx >= 0 {
+				rb.remove(idx)
 				changed = append(changed, prefix)
 			}
 		}
@@ -64,14 +65,12 @@ func (s *Speaker) setNeighborDown(n topo.ASN, down bool) {
 		}
 		return
 	}
-	delete(s.downNbrs, n)
 	// Session re-established: advertise the full table to n.
-	st := s.out[n]
 	for prefix := range s.best {
-		st.pending[prefix] = true
+		st.markPending(prefix)
 	}
 	for prefix := range s.origin {
-		st.pending[prefix] = true
+		st.markPending(prefix)
 	}
-	s.kick(n)
+	s.kick(i)
 }

@@ -53,20 +53,30 @@ type Route struct {
 	Originated bool
 
 	// exportPath caches Path prepended with the owning speaker's ASN (see
-	// Route.exported). A Route instance belongs to exactly one speaker's
-	// adj-RIB-in (or is its originated route), so the cache never crosses
+	// Route.exportedTo). A Route instance belongs to exactly one speaker's
+	// loc-RIB (or is its originated route), so the cache never crosses
 	// speakers.
 	exportPath topo.Path
+	// expID is the interned handle of exportPath, cached alongside it so
+	// per-flush dedup against lastAdv is a 32-bit compare.
+	expID pathID
+	// pid/cid are the interned handles of Path and Communities for routes
+	// materialized from a compact adj-RIB-in entry (zero for originated
+	// routes, whose equality is checked field-wise).
+	pid pathID
+	cid commID
 }
 
-// exported returns Path prepended with self, computed once: Path never
-// mutates after construction and every neighbor receives the same prepended
-// path, so one allocation serves all exports of this route.
-func (r *Route) exported(self topo.ASN) topo.Path {
+// exportedTo returns Path prepended with self plus its interned handle,
+// computed once: Path never mutates after construction and every neighbor
+// receives the same prepended path, so one allocation (and one arena
+// round-trip) serves all exports of this route.
+func (r *Route) exportedTo(a *arena, self topo.ASN) (topo.Path, pathID) {
 	if r.exportPath == nil {
 		r.exportPath = r.Path.Prepend(self)
+		r.expID = a.internPath(r.exportPath)
 	}
-	return r.exportPath
+	return r.exportPath, r.expID
 }
 
 // NextHop returns the neighbor AS traffic is forwarded to, and false for
@@ -225,6 +235,15 @@ type Config struct {
 	// disables instrumentation at the cost of one branch per site;
 	// enabled or not, protocol behaviour is identical.
 	Obs *obs.Registry
+	// ShardWorkers, when > 0, runs the engine's event loop sharded by
+	// speaker: events are batched into barrier windows shorter than the
+	// minimum propagation delay, each window's speakers run concurrently
+	// (on up to ShardWorkers goroutines), and their effects merge back in
+	// deterministic order. Results are byte-identical for every worker
+	// count ≥ 1 under a given seed; 0 selects the classic single-threaded
+	// loop, whose event interleaving (and thus rng stream) differs from
+	// the sharded model's. See shard.go for the window-safety argument.
+	ShardWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -244,10 +263,15 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// update is the wire message between speakers. A nil Path is a withdrawal.
+// update is the wire message between speakers. A nil path is a withdrawal.
+// The sender resolves the interned handles at flush time and ships both
+// forms: the slices feed import policy (loop checks walk the path), the
+// handles land in the receiver's compact adj-RIB-in without re-interning.
 type update struct {
 	prefix      netip.Prefix
 	path        topo.Path
 	communities []Community
 	med         int
+	pid         pathID
+	cid         commID
 }

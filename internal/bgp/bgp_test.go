@@ -464,7 +464,7 @@ func TestSplitHorizonNoEcho(t *testing.T) {
 	e, _ := newEngine(t, top)
 	e.Originate(1, topo.ProductionPrefix(1))
 	converge(t, e)
-	if got := e.UpdatesSent[2]; got != 0 {
+	if got := e.UpdatesSentBy(2); got != 0 {
 		t.Fatalf("AS2 sent %d updates, want 0 (split horizon + no customers)", got)
 	}
 }
@@ -479,10 +479,7 @@ func TestDeterministicReplay(t *testing.T) {
 		e.Converge(1_000_000)
 		e.Announce(10, p, OriginConfig{Pattern: topo.Path{10, 30, 10}})
 		e.Converge(1_000_000)
-		total := 0
-		for _, c := range e.UpdatesSent {
-			total += c
-		}
+		total := e.TotalUpdatesSent()
 		r, _ := e.BestRoute(60, p)
 		return total, r.Path
 	}

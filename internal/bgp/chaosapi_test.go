@@ -111,3 +111,17 @@ func TestSetLinkExtraDelay(t *testing.T) {
 	}()
 	e.SetLinkExtraDelay(1, 4, time.Second)
 }
+
+// TestSetLinkExtraDelayNegativePanics is the regression test for the old
+// "d <= 0 removes the delay" behaviour: a negative duration — always a sign
+// bug in the caller's arithmetic, never a removal request — was silently
+// accepted. It now panics, matching the non-adjacent case.
+func TestSetLinkExtraDelayNegativePanics(t *testing.T) {
+	e, _ := newEngine(t, lineTopo(t))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative SetLinkExtraDelay did not panic")
+		}
+	}()
+	e.SetLinkExtraDelay(2, 3, -time.Millisecond)
+}

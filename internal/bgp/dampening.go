@@ -79,7 +79,7 @@ func (d *dampState) decayedPenalty(now time.Duration, half time.Duration) float6
 // (0 when not suppressed).
 func (s *Speaker) noteFlap(k dampKey) {
 	cfg := s.e.cfg.Dampening
-	now := s.e.clk.Now()
+	now := s.e.nowFor(s)
 	st := s.damp[k]
 	if st == nil {
 		st = &dampState{updatedAt: now}
@@ -90,15 +90,21 @@ func (s *Speaker) noteFlap(k dampKey) {
 		st.penalty = cfg.MaxPenalty
 	}
 	st.updatedAt = now
-	s.e.obs.dampPenalties.Inc()
+	if ss := s.stats; ss != nil && s.inWindow {
+		ss.dampPenalties++
+	} else {
+		s.e.obs.dampPenalties.Inc()
+	}
 	if !st.suppressed && st.penalty >= cfg.SuppressAt {
 		st.suppressed = true
-		s.e.obs.dampSuppressions.Inc()
+		if ss := s.stats; ss != nil && s.inWindow {
+			ss.dampSuppressions++
+		} else {
+			s.e.obs.dampSuppressions.Inc()
+		}
 		// Schedule the reuse check for when the penalty decays to the
-		// reuse threshold. Reuse timers are long-lived wall-clock state,
-		// not in-flight protocol work, so they do not count toward
-		// Quiescent().
-		s.e.clk.After(reuseDelay(st.penalty, cfg), func() { s.reuseCheck(k) })
+		// reuse threshold.
+		s.e.schedReuse(s, k, reuseDelay(st.penalty, cfg))
 	}
 }
 
@@ -121,9 +127,9 @@ func (s *Speaker) reuseCheck(k dampKey) {
 	if st == nil || !st.suppressed {
 		return
 	}
-	if p := st.decayedPenalty(s.e.clk.Now(), cfg.HalfLife); p > cfg.ReuseAt {
+	if p := st.decayedPenalty(s.e.nowFor(s), cfg.HalfLife); p > cfg.ReuseAt {
 		// Not yet (another flap bumped it); re-arm.
-		s.e.clk.After(reuseDelay(p, cfg), func() { s.reuseCheck(k) })
+		s.e.schedReuse(s, k, reuseDelay(p, cfg))
 		return
 	}
 	st.suppressed = false
@@ -145,5 +151,5 @@ func (s *Speaker) Penalty(from topo.ASN, prefix netip.Prefix) float64 {
 	if st == nil {
 		return 0
 	}
-	return st.decayedPenalty(s.e.clk.Now(), s.e.cfg.Dampening.HalfLife)
+	return st.decayedPenalty(s.e.nowFor(s), s.e.cfg.Dampening.HalfLife)
 }

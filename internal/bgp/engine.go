@@ -13,12 +13,18 @@ import (
 // Engine owns one Speaker per AS and drives protocol dynamics over a
 // simclock.Scheduler.
 type Engine struct {
-	top      *topo.Topology
-	clk      *simclock.Scheduler
-	cfg      Config
-	rng      *rand.Rand
+	top   *topo.Topology
+	clk   *simclock.Scheduler
+	cfg   Config
+	rng   *rand.Rand
+	arena *arena
+	// asns is the sorted ASN table; a speaker's idx indexes it and every
+	// dense per-AS slice below.
+	asns     []topo.ASN
 	speakers map[topo.ASN]*Speaker
 	obs      engineObs
+	// shard is non-nil when Config.ShardWorkers > 0 (see shard.go).
+	shard *shardState
 
 	// OnBestChange, if set, observes every loc-RIB change engine-wide.
 	OnBestChange func(BestChange)
@@ -32,38 +38,36 @@ type Engine struct {
 	// armed MRAI timers); zero means the control plane is quiescent.
 	pendingEvents int
 
-	// UpdatesSent counts announcements+withdrawals sent per AS, the raw
-	// material for the Table 2 update-load analysis.
-	UpdatesSent map[topo.ASN]int
-
-	// lastDelivery enforces in-order message delivery per directed AS
-	// pair despite jittered propagation delays.
-	lastDelivery map[[2]topo.ASN]time.Duration
-
-	// extraDelay holds per-directed-pair additional propagation delay
-	// (chaos "control-plane update delay" faults). It is added after the
-	// jitter draw so installing or removing a delay never shifts the
-	// engine's rng stream.
-	extraDelay map[[2]topo.ASN]time.Duration
+	// updatesSent counts announcements+withdrawals sent per AS — the raw
+	// material for the Table 2 update-load analysis — densely indexed by
+	// speaker idx (it replaces a per-AS map; read it via UpdatesSentBy /
+	// TotalUpdatesSent). Barrier workers increment distinct indices, so
+	// the slice needs no lock.
+	updatesSent []int64
 }
 
 // New builds an engine over the topology. No routes exist until Originate or
-// Announce is called.
+// Announce is called. With cfg.ShardWorkers > 0 the event loop runs sharded
+// by speaker (see shard.go); New panics if the jitter configuration leaves
+// no safe barrier window.
 func New(top *topo.Topology, clk *simclock.Scheduler, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{
-		top:          top,
-		clk:          clk,
-		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
-		speakers:     make(map[topo.ASN]*Speaker, top.NumASes()),
-		obs:          newEngineObs(cfg.Obs),
-		UpdatesSent:  make(map[topo.ASN]int),
-		lastDelivery: make(map[[2]topo.ASN]time.Duration),
-		extraDelay:   make(map[[2]topo.ASN]time.Duration),
+		top:         top,
+		clk:         clk,
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		arena:       newArena(),
+		asns:        top.ASNs(),
+		speakers:    make(map[topo.ASN]*Speaker, top.NumASes()),
+		obs:         newEngineObs(cfg.Obs),
+		updatesSent: make([]int64, top.NumASes()),
 	}
-	for _, asn := range top.ASNs() {
-		e.speakers[asn] = newSpeaker(e, asn)
+	for i, asn := range e.asns {
+		e.speakers[asn] = newSpeaker(e, asn, i)
+	}
+	if cfg.ShardWorkers > 0 {
+		e.initShard()
 	}
 	return e
 }
@@ -76,6 +80,39 @@ func (e *Engine) Clock() *simclock.Scheduler { return e.clk }
 
 // Speaker returns the speaker for asn, or nil if the AS does not exist.
 func (e *Engine) Speaker(asn topo.ASN) *Speaker { return e.speakers[asn] }
+
+// UpdatesSentBy reports how many updates (announcements + withdrawals) asn
+// has sent; 0 for an unknown AS.
+func (e *Engine) UpdatesSentBy(asn topo.ASN) int {
+	s := e.speakers[asn]
+	if s == nil {
+		return 0
+	}
+	return int(e.updatesSent[s.idx])
+}
+
+// TotalUpdatesSent reports the engine-wide update count.
+func (e *Engine) TotalUpdatesSent() int {
+	total := 0
+	for _, c := range e.updatesSent {
+		total += int(c)
+	}
+	return total
+}
+
+// RIBSizes reports the aggregate routing-state footprint: selected loc-RIB
+// routes and compact adj-RIB-in entries across every speaker. The scale
+// benchmarks divide memory by these to normalize across topology sizes.
+func (e *Engine) RIBSizes() (locRIB, adjEntries int) {
+	for _, asn := range e.asns {
+		s := e.speakers[asn]
+		locRIB += len(s.best)
+		for _, rb := range s.adjIn {
+			adjEntries += len(rb.entries)
+		}
+	}
+	return locRIB, adjEntries
+}
 
 // Originate announces prefix from asn with the plain [asn] path.
 func (e *Engine) Originate(asn topo.ASN, prefix netip.Prefix) {
@@ -211,27 +248,35 @@ func (e *Engine) Origins(asn topo.ASN) []OriginAnnouncement {
 
 // SetLinkExtraDelay adds d of control-plane propagation delay to every BGP
 // message crossing the a–b adjacency (both directions); d = 0 removes the
-// slowdown. The delay is applied after the per-message jitter draw, so
-// toggling it never perturbs the engine's rng stream — chaos "update delay"
-// faults compose with otherwise-identical runs. Panics if a and b are not
-// adjacent, matching SetAdjacencyDown.
+// slowdown, and a negative d panics — it is always a caller bug, never a
+// removal request. The delay is applied after the per-message jitter draw,
+// so toggling it never perturbs the engine's rng stream — chaos "update
+// delay" faults compose with otherwise-identical runs. Panics if a and b
+// are not adjacent, matching SetAdjacencyDown.
 func (e *Engine) SetLinkExtraDelay(a, b topo.ASN, d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("bgp: SetLinkExtraDelay(%d, %d): negative delay %v", a, b, d))
+	}
 	if !e.top.Adjacent(a, b) {
 		panic(fmt.Sprintf("bgp: SetLinkExtraDelay(%d, %d): not adjacent", a, b))
 	}
-	for _, key := range [][2]topo.ASN{{a, b}, {b, a}} {
-		if d <= 0 {
-			delete(e.extraDelay, key)
-		} else {
-			e.extraDelay[key] = d
-		}
-	}
+	sa, sb := e.speakers[a], e.speakers[b]
+	sa.out[sa.nbrIndex(b)].extra = d
+	sb.out[sb.nbrIndex(a)].extra = d
 }
 
 // LinkExtraDelay returns the extra control-plane delay currently installed
-// on the a→b direction (zero when none).
+// on the a→b direction (zero when none, or when the ASes are not adjacent).
 func (e *Engine) LinkExtraDelay(a, b topo.ASN) time.Duration {
-	return e.extraDelay[[2]topo.ASN{a, b}]
+	s := e.speakers[a]
+	if s == nil {
+		return 0
+	}
+	i := s.nbrIndex(b)
+	if i < 0 {
+		return 0
+	}
+	return s.out[i].extra
 }
 
 // BestRoute returns asn's selected route for an exact prefix.
@@ -259,6 +304,7 @@ func (e *Engine) Lookup(asn topo.ASN, addr netip.Addr) (*Route, bool) {
 	if !ok {
 		return nil, false
 	}
+	s.compileLPM()
 	r := s.lpm.lookup(key)
 	return r, r != nil
 }
@@ -291,60 +337,119 @@ func (e *Engine) Converge(maxSteps int) bool {
 	return e.Quiescent()
 }
 
-// jittered returns d scaled by a uniform factor in [1-j, 1+j].
-func (e *Engine) jittered(d time.Duration, j float64) time.Duration {
+// nowFor reports virtual time from s's point of view: the event being
+// processed inside a barrier window, the scheduler's clock otherwise.
+func (e *Engine) nowFor(s *Speaker) time.Duration {
+	if s.inWindow {
+		return s.now
+	}
+	return e.clk.Now()
+}
+
+// rngFor returns the stream protocol dynamics for s draw from: the
+// per-speaker stream in sharded mode (workers cannot share one), the
+// engine-global stream in the classic loop.
+func (e *Engine) rngFor(s *Speaker) *rand.Rand {
+	if s.rng != nil {
+		return s.rng
+	}
+	return e.rng
+}
+
+// jitterFor returns d scaled by a uniform factor in [1-j, 1+j], drawn from
+// s's stream.
+func (e *Engine) jitterFor(s *Speaker, d time.Duration, j float64) time.Duration {
 	if j <= 0 {
 		return d
 	}
-	f := 1 + j*(2*e.rng.Float64()-1)
+	f := 1 + j*(2*e.rngFor(s).Float64()-1)
 	return time.Duration(float64(d) * f)
 }
 
-// deliver schedules u from "from" to "to", preserving per-pair FIFO order.
-func (e *Engine) deliver(from, to topo.ASN, u update) {
-	e.UpdatesSent[from]++
-	e.obs.updatesSent.Inc()
-	at := e.clk.Now() + e.jittered(e.cfg.PropDelay, e.cfg.PropJitter)
-	key := [2]topo.ASN{from, to}
-	at += e.extraDelay[key]
-	if last := e.lastDelivery[key]; at <= last {
-		at = last + time.Microsecond
+// deliver schedules u from s toward its i-th neighbor, preserving per-pair
+// FIFO order via the session's lastDelivery watermark.
+func (e *Engine) deliver(s *Speaker, i int, u update) {
+	e.updatesSent[s.idx]++
+	if ss := s.stats; ss != nil && s.inWindow {
+		ss.updatesSent++
+	} else {
+		e.obs.updatesSent.Inc()
 	}
-	e.lastDelivery[key] = at
+	st := &s.out[i]
+	at := e.nowFor(s) + e.jitterFor(s, e.cfg.PropDelay, e.cfg.PropJitter) + st.extra
+	if at <= st.lastDelivery {
+		at = st.lastDelivery + time.Microsecond
+	}
+	st.lastDelivery = at
+	to := s.neighbors[i]
+	if e.shard != nil {
+		e.emit(s, engEvent{kind: evDeliver, at: at, sp: to, from: s.asn, u: u}, true)
+		return
+	}
 	dst := e.speakers[to]
+	from := s.asn
 	e.pendingEvents++
 	e.clk.At(at, func() {
 		e.pendingEvents--
-		if dst.downNbrs[from] {
+		if dst.neighborDown(from) {
 			return // the session died while the message was in flight
 		}
 		dst.receive(from, u)
 	})
 }
 
-// armMRAI schedules fn after one jittered MRAI interval.
-func (e *Engine) armMRAI(fn func()) {
+// schedPhase arms s's neighbor-i advertisement timer at the next tick of a
+// free-running MRAI timer: a uniform phase in [0, MRAI).
+func (e *Engine) schedPhase(s *Speaker, i int) {
+	d := time.Duration(e.rngFor(s).Float64() * float64(e.cfg.MRAI))
+	if e.shard != nil {
+		e.emit(s, engEvent{kind: evTimer, at: e.nowFor(s) + d, sp: s.asn, nbr: int32(i)}, true)
+		return
+	}
 	e.pendingEvents++
-	e.clk.After(e.jittered(e.cfg.MRAI, e.cfg.MRAIJitter), func() {
+	e.clk.After(d, func() {
 		e.pendingEvents--
-		fn()
+		s.timerFired(i)
 	})
 }
 
-// armPhase schedules fn at the next tick of a free-running MRAI timer: a
-// uniform phase in [0, MRAI).
-func (e *Engine) armPhase(fn func()) {
+// schedMRAI arms s's neighbor-i timer one jittered MRAI interval out.
+func (e *Engine) schedMRAI(s *Speaker, i int) {
+	d := e.jitterFor(s, e.cfg.MRAI, e.cfg.MRAIJitter)
+	if e.shard != nil {
+		e.emit(s, engEvent{kind: evTimer, at: e.nowFor(s) + d, sp: s.asn, nbr: int32(i)}, true)
+		return
+	}
 	e.pendingEvents++
-	e.clk.After(time.Duration(e.rng.Float64()*float64(e.cfg.MRAI)), func() {
+	e.clk.After(d, func() {
 		e.pendingEvents--
-		fn()
+		s.timerFired(i)
 	})
+}
+
+// schedReuse arms a dampening reuse check d from now. Reuse timers are
+// long-lived wall-clock state, not in-flight protocol work, so they do not
+// count toward Quiescent().
+func (e *Engine) schedReuse(s *Speaker, k dampKey, d time.Duration) {
+	if e.shard != nil {
+		e.emit(s, engEvent{kind: evReuse, at: e.nowFor(s) + d, sp: s.asn, from: k.from, u: update{prefix: k.prefix}}, false)
+		return
+	}
+	e.clk.After(d, func() { s.reuseCheck(k) })
 }
 
 // notifyBest publishes a loc-RIB change. The path is cloned here, behind
 // the nil check, so runs without an observer pay no per-change allocation.
-func (e *Engine) notifyBest(asn topo.ASN, prefix netip.Prefix, path topo.Path) {
-	if e.OnBestChange != nil {
-		e.OnBestChange(BestChange{At: e.clk.Now(), AS: asn, Prefix: prefix, Path: path.Clone()})
+// Inside a barrier window the change is buffered and delivered — globally
+// time-sorted — at the merge.
+func (e *Engine) notifyBest(s *Speaker, prefix netip.Prefix, path topo.Path) {
+	if e.OnBestChange == nil {
+		return
 	}
+	bc := BestChange{At: e.nowFor(s), AS: s.asn, Prefix: prefix, Path: path.Clone()}
+	if s.inWindow {
+		s.notifs = append(s.notifs, bc)
+		return
+	}
+	e.OnBestChange(bc)
 }

@@ -1,8 +1,10 @@
 package bgp
 
 import (
+	"math/rand"
 	"net/netip"
 	"sort"
+	"time"
 
 	"lifeguard/internal/topo"
 )
@@ -11,25 +13,35 @@ import (
 type Speaker struct {
 	e   *Engine
 	asn topo.ASN
+	// idx is this speaker's position in the engine's sorted ASN table —
+	// the index into the engine's dense per-AS slices.
+	idx int
 
-	// adjIn holds the latest accepted route per prefix per neighbor.
-	adjIn map[netip.Prefix]map[topo.ASN]*Route
-	// best is the loc-RIB: the selected route per prefix.
+	// adjIn holds the latest accepted offer per prefix per neighbor, in
+	// compact delta-encoded form (see rib.go): handles and selection
+	// scalars only, sorted by neighbor.
+	adjIn map[netip.Prefix]*prefixRIB
+	// best is the loc-RIB: the selected route per prefix, materialized
+	// (the one representation the data plane and public API consume).
 	best map[netip.Prefix]*Route
-	// lpm is the compiled longest-prefix-match index over best, maintained
-	// incrementally by decide (see lpm.go). Engine.Lookup — the data-plane
-	// hot path — reads it instead of probing best per candidate length.
-	lpm lpmIndex
+	// lpm is the compiled longest-prefix-match index over best. It is
+	// compiled on the speaker's first data-plane lookup and maintained
+	// incrementally by decide from then on (lpmLive): pure control-plane
+	// runs — convergence at Internet scale — never pay for a trie nobody
+	// walks. Engine.Lookup — the data-plane hot path — reads it instead
+	// of probing best per candidate length.
+	lpm     lpmIndex
+	lpmLive bool
 	// origin holds locally-originated prefixes: the (sanitized) announcement
 	// policy plus the originated loc-RIB route, built once per Announce so
 	// decide does not reallocate it on every update.
 	origin map[netip.Prefix]*originEntry
-	// out tracks per-neighbor send state (MRAI batching + dedup).
-	out map[topo.ASN]*outState
+	// out tracks per-neighbor send state, indexed by position in neighbors
+	// (dense — the per-AS maps this replaces cost a map header per
+	// neighbor pair engine-wide).
+	out []outState
 	// damp tracks RFC 2439 flap state per (neighbor, prefix).
 	damp map[dampKey]*dampState
-	// downNbrs marks neighbors whose BGP session is failed.
-	downNbrs map[topo.ASN]bool
 	// commActions maps this AS's action communities (§2.3) to behaviour.
 	commActions map[Community]CommunityAction
 
@@ -38,63 +50,130 @@ type Speaker struct {
 	// flush never nests (deliveries are scheduled, not synchronous), so one
 	// buffer per speaker removes a per-flush allocation.
 	flushBuf []netip.Prefix
+
+	// Sharded-mode state (see shard.go). rng and stats are non-nil only
+	// when the engine runs sharded; the remaining fields are live only
+	// while the speaker executes a barrier window on a worker.
+	rng      *rand.Rand
+	stats    *speakerStats
+	inWindow bool
+	now      time.Duration // virtual time of the event being processed
+	winEnd   time.Duration // exclusive end of the current window
+	localQ   localHeap
+	localSeq uint64
+	emits    []engEvent
+	notifs   []BestChange
+	dirty    map[netip.Prefix]bool
+	dirtyBuf []netip.Prefix
+	pendDiff int
+	active   bool
 }
 
-// originEntry pairs an origin policy with its pre-built loc-RIB route and
-// the cached plain [self] pattern, so per-flush exports of a zero-config
-// origination allocate nothing.
+// originEntry pairs an origin policy with its pre-built loc-RIB route, the
+// cached plain [self] pattern, and the interned handles of every path /
+// community set the policy can announce — so per-flush exports allocate and
+// intern nothing.
 type originEntry struct {
 	cfg   OriginConfig
 	route *Route
 	plain topo.Path // the [self] path announced when cfg.Pattern is nil
+
+	plainID   pathID
+	patternID pathID // 0 when cfg.Pattern is nil
+	perNbrID  map[topo.ASN]pathID
+	commsID   commID
+	perNbrCID map[topo.ASN]commID
 }
 
-// pattern mirrors OriginConfig.pattern but returns the cached plain path
-// instead of constructing one.
-func (ent *originEntry) pattern(n topo.ASN) (topo.Path, bool) {
+// export is one computed announcement: the wire slices plus their interned
+// handles (pid 0 never reaches deliver — ok=false withdraws instead).
+type export struct {
+	path  topo.Path
+	comms []Community
+	med   int
+	pid   pathID
+	cid   commID
+}
+
+// pattern returns the effective path (with handle) announced to neighbor n.
+func (ent *originEntry) pattern(n topo.ASN) (topo.Path, pathID, bool) {
 	c := &ent.cfg
 	if c.Withhold[n] {
-		return nil, false
+		return nil, 0, false
 	}
 	if p, ok := c.PerNeighbor[n]; ok {
-		return p, true
+		return p, ent.perNbrID[n], true
 	}
 	if c.Pattern != nil {
-		return c.Pattern, true
+		return c.Pattern, ent.patternID, true
 	}
-	return ent.plain, true
+	return ent.plain, ent.plainID, true
 }
 
+// advRecord remembers what was last advertised to a neighbor for a prefix —
+// two interned handles instead of a path and community slice.
 type advRecord struct {
-	path        topo.Path
-	communities []Community
+	pid pathID
+	cid commID
 }
 
+// outState is one neighbor session's send-side state. lastDelivery (the
+// per-directed-pair FIFO watermark), extra (chaos-installed propagation
+// delay) and down (failed session) moved here from engine-wide maps keyed
+// by AS pair.
 type outState struct {
-	pending    map[netip.Prefix]bool
-	timerArmed bool
-	lastAdv    map[netip.Prefix]advRecord
+	// pending is nil between advertisement rounds: flush drops the map
+	// once drained rather than keeping a full-table-sized husk per
+	// neighbor session (at 10k ASes those husks were a double-digit
+	// share of the heap).
+	pending      map[netip.Prefix]bool
+	timerArmed   bool
+	lastAdv      map[netip.Prefix]advRecord
+	lastDelivery time.Duration
+	extra        time.Duration
+	down         bool
 }
 
-func newSpeaker(e *Engine, asn topo.ASN) *Speaker {
+// markPending queues p for the next flush toward this session.
+func (st *outState) markPending(p netip.Prefix) {
+	if st.pending == nil {
+		st.pending = make(map[netip.Prefix]bool, 4)
+	}
+	st.pending[p] = true
+}
+
+func newSpeaker(e *Engine, asn topo.ASN, idx int) *Speaker {
 	s := &Speaker{
 		e:         e,
 		asn:       asn,
-		adjIn:     make(map[netip.Prefix]map[topo.ASN]*Route),
+		idx:       idx,
+		adjIn:     make(map[netip.Prefix]*prefixRIB),
 		best:      make(map[netip.Prefix]*Route),
 		origin:    make(map[netip.Prefix]*originEntry),
-		out:       make(map[topo.ASN]*outState),
 		damp:      make(map[dampKey]*dampState),
-		downNbrs:  make(map[topo.ASN]bool),
 		neighbors: e.top.Neighbors(asn),
 	}
-	for _, n := range s.neighbors {
-		s.out[n] = &outState{
-			pending: make(map[netip.Prefix]bool),
-			lastAdv: make(map[netip.Prefix]advRecord),
-		}
+	s.out = make([]outState, len(s.neighbors))
+	for i := range s.out {
+		s.out[i] = outState{lastAdv: make(map[netip.Prefix]advRecord)}
 	}
 	return s
+}
+
+// nbrIndex returns n's position in the sorted neighbor list, or -1.
+func (s *Speaker) nbrIndex(n topo.ASN) int {
+	i := sort.Search(len(s.neighbors), func(i int) bool { return s.neighbors[i] >= n })
+	if i < len(s.neighbors) && s.neighbors[i] == n {
+		return i
+	}
+	return -1
+}
+
+// neighborDown reports whether the session to n is failed (false when n is
+// not a neighbor at all).
+func (s *Speaker) neighborDown(n topo.ASN) bool {
+	i := s.nbrIndex(n)
+	return i >= 0 && s.out[i].down
 }
 
 // ASN returns the speaker's AS number.
@@ -106,13 +185,40 @@ func (s *Speaker) Best(p netip.Prefix) (*Route, bool) {
 	return r, ok
 }
 
-// AdjIn returns a copy of the per-neighbor routes known for p.
+// AdjIn returns the per-neighbor routes known for p, materialized from the
+// compact store. The returned map and routes are the caller's to keep; the
+// path and community slices alias the engine's canonical interned copies
+// and must be treated as read-only.
 func (s *Speaker) AdjIn(p netip.Prefix) map[topo.ASN]*Route {
-	out := make(map[topo.ASN]*Route, len(s.adjIn[p]))
-	for n, r := range s.adjIn[p] {
-		out[n] = r
+	rb := s.adjIn[p]
+	out := make(map[topo.ASN]*Route, len(entriesOf(rb)))
+	for i := range entriesOf(rb) {
+		ent := &rb.entries[i]
+		out[ent.nbr] = s.materialize(p, ent)
 	}
 	return out
+}
+
+func entriesOf(rb *prefixRIB) []adjEntry {
+	if rb == nil {
+		return nil
+	}
+	return rb.entries
+}
+
+// materialize builds the full Route for a compact entry.
+func (s *Speaker) materialize(p netip.Prefix, ent *adjEntry) *Route {
+	return &Route{
+		Prefix:      p,
+		Path:        s.e.arena.path(ent.path),
+		From:        ent.nbr,
+		Rel:         ent.rel,
+		LocalPref:   int(ent.lpref),
+		MED:         int(ent.med),
+		Communities: s.e.arena.communities(ent.comms),
+		pid:         ent.path,
+		cid:         ent.comms,
+	}
 }
 
 // KnownPrefixes returns the prefixes with a selected route, sorted.
@@ -140,7 +246,7 @@ func sortPrefixes(ps []netip.Prefix) {
 // announce installs an origin config (already sanitized by the engine) and
 // propagates resulting changes.
 func (s *Speaker) announce(prefix netip.Prefix, cfg OriginConfig) {
-	s.origin[prefix] = &originEntry{
+	ent := &originEntry{
 		cfg:   cfg,
 		plain: topo.Path{s.asn},
 		route: &Route{
@@ -152,6 +258,25 @@ func (s *Speaker) announce(prefix netip.Prefix, cfg OriginConfig) {
 			Originated:  true,
 		},
 	}
+	a := s.e.arena
+	ent.plainID = a.internPath(ent.plain)
+	if cfg.Pattern != nil {
+		ent.patternID = a.internPath(cfg.Pattern)
+	}
+	if len(cfg.PerNeighbor) > 0 {
+		ent.perNbrID = make(map[topo.ASN]pathID, len(cfg.PerNeighbor))
+		for n, p := range cfg.PerNeighbor {
+			ent.perNbrID[n] = a.internPath(p)
+		}
+	}
+	ent.commsID = a.internComms(cfg.Communities)
+	if len(cfg.PerNeighborCommunities) > 0 {
+		ent.perNbrCID = make(map[topo.ASN]commID, len(cfg.PerNeighborCommunities))
+		for n, cs := range cfg.PerNeighborCommunities {
+			ent.perNbrCID[n] = a.internComms(cs)
+		}
+	}
+	s.origin[prefix] = ent
 	s.decide(prefix)
 	// Even when the loc-RIB didn't change (origin routes always win),
 	// the exported pattern may have: re-advertise everywhere.
@@ -167,59 +292,98 @@ func (s *Speaker) withdrawOrigin(prefix netip.Prefix) {
 	s.markAllPending(prefix)
 }
 
-// receive applies one update from a neighbor.
+// receive applies one update from a neighbor and, in the classic engine,
+// immediately runs the decision process. The sharded engine calls
+// applyUpdate directly and batches decisions per window (see settleDirty).
 func (s *Speaker) receive(from topo.ASN, u update) {
-	s.e.obs.updatesReceived.Inc()
-	if u.path == nil {
-		s.e.obs.withdrawalsReceived.Inc()
+	if s.applyUpdate(from, u) {
+		if s.decide(u.prefix) {
+			s.markAllPending(u.prefix)
+		}
 	}
-	m := s.adjIn[u.prefix]
-	old := m[from]
+}
+
+// applyUpdate folds one update into the adj-RIB-in and reports whether the
+// stored offer changed (i.e. whether a decision run could change the
+// loc-RIB).
+func (s *Speaker) applyUpdate(from topo.ASN, u update) bool {
+	if st := s.stats; st != nil && s.inWindow {
+		st.updatesReceived++
+		if u.path == nil {
+			st.withdrawalsReceived++
+		}
+	} else {
+		s.e.obs.updatesReceived.Inc()
+		if u.path == nil {
+			s.e.obs.withdrawalsReceived.Inc()
+		}
+	}
+	rb := s.adjIn[u.prefix]
+	idx := -1
+	if rb != nil {
+		idx = rb.find(from)
+	}
 	if u.path == nil || !s.importOK(from, u.path) {
 		// Withdrawal, or a route rejected by import policy: either way
 		// the neighbor no longer offers a usable route.
-		if old == nil {
-			return
+		if idx < 0 {
+			return false
 		}
 		// Losing a known route is a genuine change, so it counts as a
 		// flap (RFC 2439 §4.4.3).
 		if s.e.cfg.Dampening.Enabled {
 			s.noteFlap(dampKey{from: from, prefix: u.prefix})
 		}
-		delete(m, from)
-	} else {
-		rel := s.e.top.Rel(s.asn, from)
-		r := &Route{
-			Prefix:      u.prefix,
-			Path:        u.path,
-			From:        from,
-			Rel:         rel,
-			LocalPref:   localPref(rel),
-			MED:         u.med,
-			Communities: u.communities,
-		}
-		if s.communityAction(u.communities) == ActionLowerPref {
-			r.LocalPref = prefBackup
-		}
-		if old != nil && routesEqual(old, r) {
+		rb.remove(idx)
+		return true
+	}
+	rel := s.e.top.Rel(s.asn, from)
+	lpref := localPref(rel)
+	if s.communityAction(u.communities) == ActionLowerPref {
+		lpref = prefBackup
+	}
+	// Flush always ships interned handles alongside the slices; an update
+	// injected without them (tests, external bridges) is interned here, on
+	// defensive copies since the arena aliases what it is handed.
+	pid, cid := u.pid, u.cid
+	if pid == 0 {
+		pid = s.e.arena.internPath(u.path.Clone())
+	}
+	if cid == 0 && len(u.communities) > 0 {
+		cid = s.e.arena.internComms(append([]Community(nil), u.communities...))
+	}
+	ent := adjEntry{
+		nbr:   from,
+		rel:   rel,
+		plen:  uint16(len(u.path)),
+		lpref: int32(lpref),
+		med:   int32(u.med),
+		path:  pid,
+		comms: cid,
+	}
+	if idx >= 0 {
+		old := &rb.entries[idx]
+		if old.path == ent.path && old.comms == ent.comms {
 			// Duplicate re-advertisement: RFC 2439 §4.4.3 counts only
 			// updates that *change* an existing route, so no penalty.
-			return
+			// (MED-only changes are invisible here, as they were under
+			// the materialized representation's routesEqual.)
+			return false
 		}
 		// A replacement announcement for a known route is a flap; the
 		// first announcement from this neighbor is not.
-		if s.e.cfg.Dampening.Enabled && old != nil {
+		if s.e.cfg.Dampening.Enabled {
 			s.noteFlap(dampKey{from: from, prefix: u.prefix})
 		}
-		if m == nil {
-			m = make(map[topo.ASN]*Route)
-			s.adjIn[u.prefix] = m
-		}
-		m[from] = r
+		*old = ent
+		return true
 	}
-	if s.decide(u.prefix) {
-		s.markAllPending(u.prefix)
+	if rb == nil {
+		rb = &prefixRIB{}
+		s.adjIn[u.prefix] = rb
 	}
+	rb.insert(ent)
+	return true
 }
 
 func localPref(rel topo.Rel) int {
@@ -254,41 +418,80 @@ func (s *Speaker) importOK(from topo.ASN, path topo.Path) bool {
 }
 
 // decide runs the decision process for prefix; reports whether the loc-RIB
-// changed.
+// changed. Only a changed winner is materialized into a *Route.
 func (s *Speaker) decide(prefix netip.Prefix) bool {
-	s.e.obs.decisionRuns.Inc()
-	var newBest *Route
-	if ent, ok := s.origin[prefix]; ok {
-		newBest = ent.route
-	}
-	for n, r := range s.adjIn[prefix] {
-		if s.e.cfg.Dampening.Enabled && s.Suppressed(n, prefix) {
-			continue
-		}
-		if better(r, newBest) {
-			newBest = r
-		}
+	if st := s.stats; st != nil && s.inWindow {
+		st.decisionRuns++
+	} else {
+		s.e.obs.decisionRuns.Inc()
 	}
 	old := s.best[prefix]
+	var newBest *Route
+	if ent, ok := s.origin[prefix]; ok {
+		// Originated routes carry prefOriginated, above every imported
+		// local-pref tier: they always win.
+		newBest = ent.route
+	} else {
+		rb := s.adjIn[prefix]
+		win := -1
+		for i := range entriesOf(rb) {
+			ent := &rb.entries[i]
+			if s.e.cfg.Dampening.Enabled && s.Suppressed(ent.nbr, prefix) {
+				continue
+			}
+			if win < 0 || entryBetter(ent, &rb.entries[win]) {
+				win = i
+			}
+		}
+		if win >= 0 {
+			w := &rb.entries[win]
+			if old != nil && !old.Originated && old.From == w.nbr &&
+				old.pid == w.path && old.cid == w.comms {
+				return false // same winner, same route
+			}
+			newBest = s.materialize(prefix, w)
+		}
+	}
 	if routesEqual(old, newBest) {
 		return false
 	}
 	nodesBefore := s.lpm.nodes
 	if newBest == nil {
 		delete(s.best, prefix)
-		s.lpm.remove(prefix)
-		s.e.obs.locRIBRoutes.Dec()
-		s.e.notifyBest(s.asn, prefix, nil)
+		if s.lpmLive {
+			s.lpm.remove(prefix)
+		}
+		s.statLocRIB(-1)
+		s.e.notifyBest(s, prefix, nil)
 	} else {
 		s.best[prefix] = newBest
-		s.lpm.insert(prefix, newBest)
-		if old == nil {
-			s.e.obs.locRIBRoutes.Inc()
+		if s.lpmLive {
+			s.lpm.insert(prefix, newBest)
 		}
-		s.e.notifyBest(s.asn, prefix, newBest.Path)
+		if old == nil {
+			s.statLocRIB(1)
+		}
+		s.e.notifyBest(s, prefix, newBest.Path)
 	}
-	s.e.obs.lpmNodes.Add(int64(s.lpm.nodes - nodesBefore))
+	if s.lpmLive {
+		s.statLPMNodes(int64(s.lpm.nodes - nodesBefore))
+	}
 	return true
+}
+
+// compileLPM builds the trie from the loc-RIB the first time the data
+// plane looks anything up; decide keeps it current afterwards. The trie's
+// shape is a function of the prefix set alone, so lazy compilation yields
+// the exact index eager maintenance would have.
+func (s *Speaker) compileLPM() {
+	if s.lpmLive {
+		return
+	}
+	s.lpmLive = true
+	for p, r := range s.best {
+		s.lpm.insert(p, r)
+	}
+	s.statLPMNodes(int64(s.lpm.nodes))
 }
 
 func routesEqual(a, b *Route) bool {
@@ -310,55 +513,59 @@ func routesEqual(a, b *Route) bool {
 }
 
 func (s *Speaker) markAllPending(prefix netip.Prefix) {
-	for _, n := range s.neighbors {
-		s.out[n].pending[prefix] = true
+	for i := range s.out {
+		s.out[i].markPending(prefix)
 	}
-	for _, n := range s.neighbors {
-		s.kick(n)
+	for i := range s.out {
+		s.kick(i)
 	}
 }
 
-// kick schedules a flush toward n unless an advertisement timer is already
-// running; in that case the pending prefixes ride along when it expires.
-// The per-neighbor MRAI timer is modelled as free-running: a freshly-kicked
-// session flushes at the timer's next tick, a uniform phase away — this is
-// what spreads update propagation over tens of seconds per hop and gives
-// realistic global convergence times.
-func (s *Speaker) kick(n topo.ASN) {
-	st := s.out[n]
+// kick schedules a flush toward neighbor i unless an advertisement timer is
+// already running; in that case the pending prefixes ride along when it
+// expires. The per-neighbor MRAI timer is modelled as free-running: a
+// freshly-kicked session flushes at the timer's next tick, a uniform phase
+// away — this is what spreads update propagation over tens of seconds per
+// hop and gives realistic global convergence times.
+func (s *Speaker) kick(i int) {
+	st := &s.out[i]
 	if st.timerArmed {
-		s.e.obs.mraiDeferrals.Inc()
+		if ss := s.stats; ss != nil && s.inWindow {
+			ss.mraiDeferrals++
+		} else {
+			s.e.obs.mraiDeferrals.Inc()
+		}
 		return
 	}
 	st.timerArmed = true
-	s.e.armPhase(func() {
-		st.timerArmed = false
-		if len(st.pending) > 0 {
-			s.flushAndArm(n)
-		}
-	})
+	s.e.schedPhase(s, i)
 }
 
-func (s *Speaker) flushAndArm(n topo.ASN) {
-	st := s.out[n]
-	if s.flush(n) == 0 {
+// timerFired handles an expired phase or MRAI timer for neighbor i — the
+// shared body of the classic closures and the sharded typed events.
+func (s *Speaker) timerFired(i int) {
+	st := &s.out[i]
+	st.timerArmed = false
+	if len(st.pending) > 0 {
+		s.flushAndArm(i)
+	}
+}
+
+func (s *Speaker) flushAndArm(i int) {
+	if s.flush(i) == 0 {
 		return
 	}
-	st.timerArmed = true
-	s.e.armMRAI(func() {
-		st.timerArmed = false
-		if len(st.pending) > 0 {
-			s.flushAndArm(n)
-		}
-	})
+	s.out[i].timerArmed = true
+	s.e.schedMRAI(s, i)
 }
 
-// flush sends the pending prefixes to n, deduplicating against what was
-// last advertised; it returns the number of messages sent.
-func (s *Speaker) flush(n topo.ASN) int {
-	st := s.out[n]
-	if s.downNbrs[n] {
-		clear(st.pending)
+// flush sends the pending prefixes to neighbor i, deduplicating against
+// what was last advertised; it returns the number of messages sent.
+func (s *Speaker) flush(i int) int {
+	st := &s.out[i]
+	n := s.neighbors[i]
+	if st.down {
+		st.pending = nil
 		return 0
 	}
 	if len(st.pending) == 0 {
@@ -370,80 +577,105 @@ func (s *Speaker) flush(n topo.ASN) int {
 	}
 	sortPrefixes(prefixes)
 	s.flushBuf = prefixes
+	// Everything queued goes out below. Steady-state rounds keep their
+	// small map (clearing is cheap, reallocating is GC churn); a
+	// full-table burst round drops its map wholesale, since clearing a
+	// burst-capacity husk on every later round costs O(capacity) and the
+	// husk would otherwise stay resident per session for the whole run.
+	if len(prefixes) > 64 {
+		st.pending = nil
+	} else {
+		clear(st.pending)
+	}
 	sent := 0
 	for _, p := range prefixes {
-		delete(st.pending, p)
-		path, comms, med, ok := s.exportTo(n, p)
+		ex, ok := s.exportTo(n, p)
 		last, had := st.lastAdv[p]
 		if !ok {
 			if had {
 				delete(st.lastAdv, p)
-				s.e.deliver(s.asn, n, update{prefix: p})
+				s.e.deliver(s, i, update{prefix: p})
 				sent++
 			}
 			continue
 		}
-		if had && last.path.Equal(path) && communitiesEqual(last.communities, comms) {
+		if had && last.pid == ex.pid && last.cid == ex.cid {
 			continue
 		}
-		st.lastAdv[p] = advRecord{path: path, communities: comms}
-		s.e.deliver(s.asn, n, update{prefix: p, path: path, communities: comms, med: med})
+		st.lastAdv[p] = advRecord{pid: ex.pid, cid: ex.cid}
+		s.e.deliver(s, i, update{
+			prefix:      p,
+			path:        ex.path,
+			communities: ex.comms,
+			med:         ex.med,
+			pid:         ex.pid,
+			cid:         ex.cid,
+		})
 		sent++
 	}
 	return sent
-}
-
-func communitiesEqual(a, b []Community) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 // exportTo computes the announcement of prefix p to neighbor n, applying
 // origin patterns, valley-free export policy, split horizon, and community
 // stripping. ok=false means "no announcement" (neighbor should hold no
 // route from us).
-func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (path topo.Path, comms []Community, med int, ok bool) {
+func (s *Speaker) exportTo(n topo.ASN, p netip.Prefix) (export, bool) {
 	if ent, isOrigin := s.origin[p]; isOrigin {
 		cfg := &ent.cfg
-		pat, announce := ent.pattern(n)
+		pat, pid, announce := ent.pattern(n)
 		if !announce {
-			return nil, nil, 0, false
+			return export{}, false
 		}
-		cs := cfg.Communities
+		cs, cid := cfg.Communities, ent.commsID
 		if per, ok := cfg.PerNeighborCommunities[n]; ok {
-			cs = per
+			cs, cid = per, ent.perNbrCID[n]
 		}
 		// The config was deep-copied at the Announce boundary and paths
 		// and community slices are immutable from there on, so the
 		// per-flush defensive clones are gone from this hot path.
-		return pat, cs, cfg.MED, true
+		return export{path: pat, comms: cs, med: cfg.MED, pid: pid, cid: cid}, true
 	}
 	b := s.best[p]
 	if b == nil || b.From == n {
-		return nil, nil, 0, false
+		return export{}, false
 	}
 	// Valley-free export: routes learned from peers or providers are
 	// exported only to customers.
 	relToN := s.e.top.Rel(s.asn, n)
 	if relToN != topo.RelCustomer && b.Rel != topo.RelCustomer {
-		return nil, nil, 0, false
+		return export{}, false
 	}
 	// Action communities this AS defines (§2.3) can further restrict
 	// export.
 	if blockExport(s.communityAction(b.Communities), relToN) {
-		return nil, nil, 0, false
+		return export{}, false
 	}
-	out := b.exported(s.asn)
-	c := b.Communities
+	out, pid := b.exportedTo(s.e.arena, s.asn)
+	c, cid := b.Communities, b.cid
 	if s.e.top.AS(s.asn).StripCommunities {
-		c = nil
+		c, cid = nil, 0
 	}
-	return out, c, 0, true
+	return export{path: out, comms: c, med: 0, pid: pid, cid: cid}, true
+}
+
+// statLocRIB and statLPMNodes route the loc-RIB gauges through the window
+// buffer when the speaker runs on a barrier worker.
+func (s *Speaker) statLocRIB(delta int64) {
+	if st := s.stats; st != nil && s.inWindow {
+		st.locRIBRoutes += delta
+		return
+	}
+	s.e.obs.locRIBRoutes.Add(delta)
+}
+
+func (s *Speaker) statLPMNodes(delta int64) {
+	if delta == 0 {
+		return
+	}
+	if st := s.stats; st != nil && s.inWindow {
+		st.lpmNodes += delta
+		return
+	}
+	s.e.obs.lpmNodes.Add(delta)
 }

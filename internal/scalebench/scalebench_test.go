@@ -1,0 +1,37 @@
+package scalebench
+
+import "testing"
+
+// TestRunSmall exercises one small case end to end and pins the digest
+// contract: identical configs (and different worker counts) produce
+// identical routing state.
+func TestRunSmall(t *testing.T) {
+	r1, err := Run(Config{ASes: 200, Prefixes: 20, Seed: 1, ShardWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.LocRIBRoutes == 0 || r1.Updates == 0 || r1.Digest == "" {
+		t.Fatalf("empty result: %+v", r1)
+	}
+	// Full propagation: every AS holds every prefix.
+	if want := 200 * 20; r1.LocRIBRoutes != want {
+		t.Fatalf("LocRIBRoutes = %d, want %d", r1.LocRIBRoutes, want)
+	}
+	if r1.ArenaPaths >= r1.AdjRIBEntries {
+		t.Fatalf("interning ineffective: %d paths for %d entries", r1.ArenaPaths, r1.AdjRIBEntries)
+	}
+	r4, err := Run(Config{ASes: 200, Prefixes: 20, Seed: 1, ShardWorkers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Digest != r1.Digest || r4.Updates != r1.Updates {
+		t.Fatalf("worker counts diverged: %s/%d vs %s/%d",
+			r1.Digest, r1.Updates, r4.Digest, r4.Updates)
+	}
+}
+
+func TestShapeRejectsTiny(t *testing.T) {
+	if _, err := Run(Config{ASes: 10, Seed: 1}); err == nil {
+		t.Fatal("expected error below the AS floor")
+	}
+}

@@ -82,6 +82,18 @@ func (s *Scheduler) Now() time.Duration { return s.now }
 // Len reports the number of pending events.
 func (s *Scheduler) Len() int { return len(s.heap) }
 
+// NextAt reports the virtual time of the earliest pending event without
+// running it; ok is false when nothing is scheduled. Components that batch
+// work between scheduler events (the sharded BGP engine's barrier windows)
+// use it to avoid running past the next externally-visible instant.
+func (s *Scheduler) NextAt() (time.Duration, bool) {
+	s.owner.check()
+	if len(s.heap) == 0 {
+		return 0, false
+	}
+	return s.heap[0].at, true
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a simulation bug, and silently reordering
 // events would destroy reproducibility.

@@ -5,6 +5,11 @@
 // traceroutes. It stands in for the real AS topology (BGP feeds + the
 // BitTorrent-extended graph of §5.1), which an offline reproduction cannot
 // download.
+//
+// Two generators share the same shape model: the default one, tuned for the
+// few-hundred-AS experiment rigs, and a large mode (Config.Large) that lays
+// out 10k+-AS graphs with flat arrays and a Fenwick tree instead of per-AS
+// maps — see largemode.go.
 package topogen
 
 import (
@@ -14,7 +19,15 @@ import (
 	"lifeguard/internal/topo"
 )
 
-// Config controls generation. Zero values select defaults.
+// maxASes bounds generated topologies: ASNs are 16-bit (see topo.ASN) and
+// the generator allocates them contiguously from 1, keeping headroom for
+// callers that append experiment-specific ASes (GenerateWithOrigin).
+const maxASes = 65000
+
+// Config controls generation. Zero values select defaults; the No* flags
+// request an explicit zero where 0 would otherwise mean "default" (a
+// probability of exactly 0 is a meaningful request for no-peering or
+// strictly single-homed rigs).
 type Config struct {
 	Seed int64
 	// NumTier1 is the size of the transit-free clique. Default 5.
@@ -24,17 +37,35 @@ type Config struct {
 	// NumStub is the number of edge ASes. Default 150.
 	NumStub int
 	// TransitExtraProviderProb is the chance a transit AS gets a second
-	// provider. Default 0.5.
+	// provider. Default 0.5; set NoTransitExtraProvider for exactly 0.
 	TransitExtraProviderProb float64
 	// StubMultihomeProb is the chance a stub gets a second provider
-	// (multihoming is what lets poisoning find alternates). Default 0.55.
+	// (multihoming is what lets poisoning find alternates). Default 0.55;
+	// set NoStubMultihome for exactly 0.
 	StubMultihomeProb float64
 	// TransitPeerProb is the probability that any given pair of transit
-	// ASes peers. Default 0.05.
+	// ASes peers. Default 0.05; set NoTransitPeering for exactly 0.
 	TransitPeerProb float64
 	// Tier1StripCommunities marks Tier-1s as community-stripping (the
 	// paper's §2.3 observation). Default true (set by NoTier1Strip).
 	NoTier1Strip bool
+
+	// NoTransitExtraProvider forces TransitExtraProviderProb to 0. A bare
+	// zero in the probability field still means "use the default", so
+	// existing callers are unaffected.
+	NoTransitExtraProvider bool
+	// NoStubMultihome forces StubMultihomeProb to 0 (every stub
+	// single-homed).
+	NoStubMultihome bool
+	// NoTransitPeering forces TransitPeerProb to 0 (a pure provider
+	// hierarchy with no lateral transit edges).
+	NoTransitPeering bool
+
+	// Large selects the flat-array generator for 10k+-AS topologies. It is
+	// a distinct shape model (same construction rules, different sampling
+	// order), so Large and non-Large runs of the same seed produce
+	// different — but individually deterministic — graphs.
+	Large bool
 }
 
 func (c Config) withDefaults() Config {
@@ -47,16 +78,38 @@ func (c Config) withDefaults() Config {
 	if c.NumStub == 0 {
 		c.NumStub = 150
 	}
-	if c.TransitExtraProviderProb == 0 {
+	// The No* flags exist because 0 in the probability fields means "use
+	// the default": they are the only way to request an explicit zero.
+	switch {
+	case c.NoTransitExtraProvider:
+		c.TransitExtraProviderProb = 0
+	case c.TransitExtraProviderProb == 0:
 		c.TransitExtraProviderProb = 0.5
 	}
-	if c.StubMultihomeProb == 0 {
+	switch {
+	case c.NoStubMultihome:
+		c.StubMultihomeProb = 0
+	case c.StubMultihomeProb == 0:
 		c.StubMultihomeProb = 0.55
 	}
-	if c.TransitPeerProb == 0 {
+	switch {
+	case c.NoTransitPeering:
+		c.TransitPeerProb = 0
+	case c.TransitPeerProb == 0:
 		c.TransitPeerProb = 0.05
 	}
 	return c
+}
+
+// validate rejects configurations the generators cannot realize. Degenerate
+// pool shapes (e.g. a negative NumTier1 leaving transits with no providers)
+// are not pre-screened here; they surface as attachment errors so the
+// failing AS is named in the diagnostic.
+func (c Config) validate() error {
+	if total := c.NumTier1 + c.NumTransit + c.NumStub; total > maxASes {
+		return fmt.Errorf("topogen: %d ASes exceeds the %d limit of 16-bit ASNs", total, maxASes)
+	}
+	return nil
 }
 
 // Result carries the generated topology and the role of each AS.
@@ -83,7 +136,10 @@ func (r *Result) AllASNs() []topo.ASN {
 // identical topologies.
 func Generate(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
-	b, res, _, _ := synth(cfg)
+	b, res, _, _, err := synth(cfg)
+	if err != nil {
+		return nil, err
+	}
 	return finish(b, res, cfg)
 }
 
@@ -97,7 +153,13 @@ func GenerateWithOrigin(cfg Config, providers int) (*Result, error) {
 	if providers < 1 {
 		providers = 1
 	}
-	b, res, rng, next := synth(cfg)
+	b, res, rng, next, err := synth(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Transit) == 0 {
+		return nil, fmt.Errorf("topogen: origin needs transit providers, config has none")
+	}
 	origin := next
 	as := b.AddAS(origin, fmt.Sprintf("ORIGIN%d", origin))
 	as.Tier = 3
@@ -117,8 +179,14 @@ func GenerateWithOrigin(cfg Config, providers int) (*Result, error) {
 
 // synth lays out the AS graph without building it, so callers can append
 // experiment-specific ASes. It returns the builder, the roles, the RNG, and
-// the next unused ASN.
-func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN) {
+// the next unused ASN. cfg must already have defaults applied.
+func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, nil, nil, 0, err
+	}
+	if cfg.Large {
+		return largeSynth(cfg)
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	b := topo.NewBuilder()
 	res := &Result{}
@@ -157,7 +225,7 @@ func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN) {
 			}
 		}
 		if total == 0 {
-			return 0
+			return 0 // no candidate: every pool member is excluded (or the pool is empty)
 		}
 		x := rng.Intn(total)
 		for _, c := range cands {
@@ -172,9 +240,14 @@ func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN) {
 		return 0
 	}
 
-	attach := func(child topo.ASN, pool []topo.ASN, extraProb float64) {
+	attach := func(child topo.ASN, pool []topo.ASN, extraProb float64) error {
 		exclude := map[topo.ASN]bool{child: true}
 		p1 := pickWeighted(pool, exclude)
+		if p1 == 0 {
+			// pickWeighted's failure sentinel: without this guard the 0
+			// would flow into Provider/ConnectAS as a bogus ASN.
+			return fmt.Errorf("topogen: no provider candidate for AS %d (pool of %d all excluded)", child, len(pool))
+		}
 		b.Provider(child, p1)
 		b.ConnectAS(child, p1)
 		degree[p1]++
@@ -188,13 +261,16 @@ func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN) {
 				degree[child]++
 			}
 		}
+		return nil
 	}
 
 	// Transit tier: providers drawn from Tier-1s and earlier transits.
 	pool := append([]topo.ASN(nil), res.Tier1s...)
 	for i := 0; i < cfg.NumTransit; i++ {
 		asn := newAS("TR-", 2)
-		attach(asn, pool, cfg.TransitExtraProviderProb)
+		if err := attach(asn, pool, cfg.TransitExtraProviderProb); err != nil {
+			return nil, nil, nil, 0, err
+		}
 		res.Transit = append(res.Transit, asn)
 		pool = append(pool, asn)
 	}
@@ -216,11 +292,13 @@ func synth(cfg Config) (*topo.Builder, *Result, *rand.Rand, topo.ASN) {
 	stubPool := append(append([]topo.ASN(nil), res.Transit...), res.Tier1s...)
 	for i := 0; i < cfg.NumStub; i++ {
 		asn := newAS("ST-", 3)
-		attach(asn, stubPool, cfg.StubMultihomeProb)
+		if err := attach(asn, stubPool, cfg.StubMultihomeProb); err != nil {
+			return nil, nil, nil, 0, err
+		}
 		res.Stubs = append(res.Stubs, asn)
 	}
 
-	return b, res, rng, next
+	return b, res, rng, next, nil
 }
 
 // finish validates the builder and applies post-build policy flags.
