@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
+.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke daemon-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
 
 all: build test lint
 
@@ -109,6 +109,25 @@ chaos-smoke:
 	diff $(BIN)/chaos_seq.json $(BIN)/chaos_par.json
 	@grep -q lifeguard_chaos_faults_injected_total $(BIN)/chaos_seq.json
 	@echo "chaos-smoke: zero violations; reports and snapshots byte-identical across parallelism"
+
+# daemon-smoke proves the long-running service contract end to end: a
+# multi-tenant lifeguardd with the metrics endpoint up must answer
+# /healthz and /metrics while simulating, then exit 0 on SIGTERM with the
+# final JSON snapshot on stdout (the documented shutdown contract; the
+# signal-path details are covered by cmd/lifeguardd's own tests).
+daemon-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lifeguardd ./cmd/lifeguardd
+	@rm -f $(BIN)/daemon_smoke.out
+	$(BIN)/lifeguardd -tenants 2 -hours 1000000 -failures 2 -http 127.0.0.1:18911 >$(BIN)/daemon_smoke.out & \
+	pid=$$!; \
+	for i in $$(seq 1 50); do curl -sf http://127.0.0.1:18911/healthz >/dev/null 2>&1 && break; sleep 0.1; done; \
+	curl -sf http://127.0.0.1:18911/healthz || { kill $$pid; exit 1; }; \
+	curl -sf http://127.0.0.1:18911/metrics | grep -q 'lifeguard_monitor_ping_rounds_total{tenant=' || { kill $$pid; exit 1; }; \
+	kill -TERM $$pid; \
+	wait $$pid || { echo "daemon-smoke: nonzero exit on SIGTERM"; exit 1; }
+	@grep -q '"metrics"' $(BIN)/daemon_smoke.out || { echo "daemon-smoke: no final snapshot on stdout"; exit 1; }
+	@echo "daemon-smoke: healthz+metrics served; clean SIGTERM exit with final snapshot"
 
 # A quick fuzz pass over the BGP-4 wire codec; CI runs this on every push.
 fuzz-smoke:

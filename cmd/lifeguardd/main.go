@@ -1,18 +1,32 @@
-// Command lifeguardd runs a complete LIFEGUARD deployment over a simulated
-// internetwork: a synthetic Internet is generated, the daemon announces its
-// production and sentinel prefixes, monitors a set of targets, and — as
-// scripted silent failures strike transit networks — detects, isolates, and
-// repairs them with BGP poisoning, unpoisoning when the sentinel sees each
-// failure heal. The event log it prints is the §6 case study generalized.
+// Command lifeguardd runs a multi-tenant LIFEGUARD service over a simulated
+// internetwork: a synthetic Internet is generated, and one session per
+// tenant origin AS announces its production and sentinel prefixes, monitors
+// a set of targets, and — as scripted silent failures strike transit
+// networks — detects, isolates, and repairs them with BGP poisoning,
+// unpoisoning when the sentinel sees each failure heal. All tenants share
+// one rig (one internetwork, one virtual clock), so their timelines
+// interleave deterministically. The event log it prints is the §6 case
+// study generalized.
+//
+// The daemon is built for long-running operation:
+//
+//   - SIGINT/SIGTERM shut it down cleanly (exit 0, final metrics snapshot
+//     as the last stdout output).
+//   - SIGHUP is a hitless config reload: a new tenant is added to the live
+//     rig without perturbing the existing sessions' monitors, outage
+//     state, or active repairs.
+//   - SIGUSR1 gracefully restarts tenant 1's control plane: with BGP
+//     graceful-restart semantics the tenant's announced routes are
+//     retained and re-announced on restore, so its traffic forwards
+//     through the restart.
 //
 // The daemon is fully instrumented: every subsystem reports into a metrics
-// registry, and -http serves it live (/metrics in Prometheus text format,
-// /healthz, /debug/vars, /debug/pprof). The final registry snapshot is
-// printed to stdout as JSON when the run ends — whether it completes or is
-// interrupted by SIGINT/SIGTERM, which shuts the daemon down cleanly.
+// registry (per-tenant series carry a tenant label), and -http serves it
+// live (/metrics in Prometheus text format, /healthz, /debug/vars,
+// /debug/pprof).
 //
 //	lifeguardd -seed 1 -hours 6 -failures 4
-//	lifeguardd -hours 48 -http :8080 &   # scrape localhost:8080/metrics
+//	lifeguardd -tenants 3 -hours 48 -http :8080 &   # scrape localhost:8080/metrics
 package main
 
 import (
@@ -34,7 +48,8 @@ func main() {
 	var (
 		seed     = flag.Int64("seed", 1, "topology and timing seed")
 		hours    = flag.Float64("hours", 6, "virtual hours to simulate")
-		failures = flag.Int("failures", 4, "number of silent failures to script")
+		failures = flag.Int("failures", 4, "number of silent failures to script (spread across tenants)")
+		tenants  = flag.Int("tenants", 1, "tenant sessions to run over the shared rig")
 		transits = flag.Int("transits", 15, "transit ASes in the synthetic Internet")
 		stubs    = flag.Int("stubs", 40, "stub ASes in the synthetic Internet")
 		httpAddr = flag.String("http", "", "serve /metrics, /healthz, /debug/vars and /debug/pprof on this address (empty disables)")
@@ -44,6 +59,11 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: lifeguardd [flags]\n\nflags:\n")
 		flag.PrintDefaults()
 		fmt.Fprintf(flag.CommandLine.Output(), `
+signals:
+  SIGINT/SIGTERM  clean shutdown
+  SIGHUP          hitless reload: add one tenant to the live rig
+  SIGUSR1         graceful control-plane restart of tenant 1
+
 exit codes:
   0  run completed, or was shut down cleanly by SIGINT/SIGTERM; the final
      metrics snapshot (JSON) is the last thing printed to stdout
@@ -52,13 +72,20 @@ exit codes:
 `)
 	}
 	flag.Parse()
-	if err := run(*seed, *hours, *failures, *transits, *stubs, *httpAddr, *journal); err != nil {
+	if err := run(*seed, *hours, *failures, *tenants, *transits, *stubs, *httpAddr, *journal); err != nil {
 		fmt.Fprintln(os.Stderr, "lifeguardd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed int64, hours float64, failures, transits, stubs int, httpAddr string, journalCap int) error {
+// tenantView is one live session plus the daemon's bookkeeping for it.
+type tenantView struct {
+	s      *lifeguard.Session
+	origin lifeguard.ASN
+	logged int
+}
+
+func run(seed int64, hours float64, failures, tenants, transits, stubs int, httpAddr string, journalCap int) error {
 	reg := obs.New()
 	var j *obs.Journal
 	if journalCap > 0 {
@@ -70,12 +97,15 @@ func run(seed int64, hours float64, failures, transits, stubs int, httpAddr stri
 	if err != nil {
 		return err
 	}
-	origin := n.Gen.Stubs[0]
+	if tenants < 1 {
+		tenants = 1
+	}
+	if max := len(n.Gen.Stubs) - 6; tenants > max {
+		return fmt.Errorf("%d tenants need more stubs (have %d, can host %d)", tenants, len(n.Gen.Stubs), max)
+	}
 	fmt.Printf("internet: %d ASes (%d tier-1, %d transit, %d stub), %d routers\n",
 		n.Top.NumASes(), len(n.Gen.Tier1s), len(n.Gen.Transit), len(n.Gen.Stubs),
 		n.Top.NumRouters())
-	fmt.Printf("origin AS%d announces production %v and sentinel %v\n\n",
-		origin, lifeguard.ProductionPrefix(origin), lifeguard.SentinelPrefix(origin))
 
 	if httpAddr != "" {
 		mux := obshttp.NewMux(reg, j)
@@ -94,41 +124,69 @@ func run(seed int64, hours float64, failures, transits, stubs int, httpAddr stri
 
 	// SIGINT/SIGTERM end the run early but cleanly: the current simulated
 	// minute finishes, the summary and final metrics snapshot print, and
-	// the exit code is 0.
-	sigc := make(chan os.Signal, 1)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	// the exit code is 0. SIGHUP and SIGUSR1 drive live reconfiguration.
+	sigc := make(chan os.Signal, 4)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM, syscall.SIGHUP, syscall.SIGUSR1)
 	defer signal.Stop(sigc)
 
-	// Monitor a handful of distant stubs, helped by two extra VPs.
+	// Tenants take the first stubs as origins; the monitored targets and
+	// the extra vantage points come from the far end of the stub list so
+	// the roles never collide, even after SIGHUP adds tenants.
+	rig := lifeguard.NewRig(n)
 	var targets []lifeguard.Addr
 	targetASes := []lifeguard.ASN{}
-	for _, s := range n.Gen.Stubs[1:] {
-		if len(targets) >= 4 {
-			break
-		}
-		targets = append(targets, n.RouterAddr(n.Hub(s)))
-		targetASes = append(targetASes, s)
+	for i := len(n.Gen.Stubs) - 3; len(targetASes) < 4 && i >= tenants; i-- {
+		targets = append(targets, n.RouterAddr(n.Hub(n.Gen.Stubs[i])))
+		targetASes = append(targetASes, n.Gen.Stubs[i])
 	}
-	vps := []lifeguard.RouterID{
-		n.Hub(origin),
+	helperVPs := []lifeguard.RouterID{
 		n.Hub(n.Gen.Stubs[len(n.Gen.Stubs)-1]),
 		n.Hub(n.Gen.Stubs[len(n.Gen.Stubs)-2]),
 	}
-
-	sys := lifeguard.NewSystem(n, lifeguard.Config{Origin: origin, VPs: vps, Targets: targets})
-	sys.Start()
+	nextOrigin := 0
+	addTenant := func() (*tenantView, error) {
+		if nextOrigin >= len(n.Gen.Stubs)-6 {
+			return nil, fmt.Errorf("no spare stub AS for another tenant")
+		}
+		origin := n.Gen.Stubs[nextOrigin]
+		nextOrigin++
+		s, err := rig.AddSession(lifeguard.SessionConfig{Config: lifeguard.Config{
+			Origin:  origin,
+			VPs:     append([]lifeguard.RouterID{n.Hub(origin)}, helperVPs...),
+			Targets: targets,
+		}})
+		if err != nil {
+			return nil, err
+		}
+		s.Start()
+		fmt.Printf("tenant %s: origin AS%d announces production %v and sentinel %v\n",
+			s.Tenant(), origin, lifeguard.ProductionPrefix(origin), lifeguard.SentinelPrefix(origin))
+		return &tenantView{s: s, origin: origin}, nil
+	}
+	var views []*tenantView
+	for i := 0; i < tenants; i++ {
+		tv, err := addTenant()
+		if err != nil {
+			return err
+		}
+		views = append(views, tv)
+	}
+	fmt.Println()
 	n.Clk.RunFor(5 * time.Minute) // warm baseline + atlas
 
 	// Script the failures: pick avoidable transit hops on the reverse
-	// paths from the targets, break each for a while, heal, repeat.
+	// paths from the targets to each tenant in turn, break each for a
+	// while, heal, repeat.
 	type scripted struct {
 		at, heal time.Duration
 		as       lifeguard.ASN
+		origin   lifeguard.ASN
 		id       lifeguard.FailureID
 	}
 	var script []scripted
 	gap := time.Duration(hours*float64(time.Hour)) / time.Duration(failures+1)
 	for i := 0; i < failures; i++ {
+		origin := views[i%len(views)].origin
 		tgt := targetASes[i%len(targetASes)]
 		path := n.Eng.ASPathTo(topo.ASN(tgt), lifeguard.ProductionAddr(origin))
 		var victim lifeguard.ASN
@@ -145,15 +203,15 @@ func run(seed int64, hours float64, failures, transits, stubs int, httpAddr stri
 			continue
 		}
 		at := gap * time.Duration(i+1)
-		script = append(script, scripted{at: at, heal: at + 35*time.Minute, as: victim})
+		script = append(script, scripted{at: at, heal: at + 35*time.Minute, as: victim, origin: origin})
 	}
 
 	for i := range script {
 		sc := &script[i]
 		n.Clk.At(sc.at, func() {
-			sc.id = n.InjectFailure(lifeguard.BlackholeASTowards(sc.as, lifeguard.Block(origin)))
+			sc.id = n.InjectFailure(lifeguard.BlackholeASTowards(sc.as, lifeguard.Block(sc.origin)))
 			fmt.Printf("[%8s] FAULT    AS%d silently drops traffic toward AS%d's prefixes\n",
-				fmtD(n.Clk.Now()), sc.as, origin)
+				fmtD(n.Clk.Now()), sc.as, sc.origin)
 		})
 		n.Clk.At(sc.heal, func() {
 			n.HealFailure(sc.id)
@@ -163,31 +221,56 @@ func run(seed int64, hours float64, failures, transits, stubs int, httpAddr stri
 	}
 
 	end := time.Duration(hours * float64(time.Hour))
-	logged := 0
 	interrupted := false
 loop:
 	for n.Clk.Now() < end {
 		select {
 		case sig := <-sigc:
-			fmt.Fprintf(os.Stderr, "lifeguardd: %v — shutting down after %s virtual\n", sig, fmtD(n.Clk.Now()))
-			interrupted = true
-			break loop
+			switch sig {
+			case syscall.SIGHUP:
+				// Hitless reload: a tenant joins the live rig; nobody
+				// else's monitors, outages, or repairs are disturbed.
+				tv, err := addTenant()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "lifeguardd: reload: %v\n", err)
+					continue
+				}
+				views = append(views, tv)
+				fmt.Fprintf(os.Stderr, "lifeguardd: SIGHUP — added tenant %s live\n", tv.s.Tenant())
+				continue
+			case syscall.SIGUSR1:
+				// Graceful control-plane restart of the first tenant:
+				// routes retained, forwarding uninterrupted.
+				v := views[0]
+				v.s.Restart()
+				fmt.Fprintf(os.Stderr, "lifeguardd: SIGUSR1 — restarted tenant %s control plane (graceful)\n", v.s.Tenant())
+				continue
+			default:
+				fmt.Fprintf(os.Stderr, "lifeguardd: %v — shutting down after %s virtual\n", sig, fmtD(n.Clk.Now()))
+				interrupted = true
+				break loop
+			}
 		default:
 		}
 		n.Clk.RunFor(time.Minute)
-		for _, e := range sys.History[logged:] {
-			printEvent(n, e)
+		for _, v := range views {
+			for _, e := range v.s.History[v.logged:] {
+				printEvent(v, e)
+			}
+			v.logged = len(v.s.History)
 		}
-		logged = len(sys.History)
 	}
-	sys.Stop()
+	rig.Stop()
 
-	fmt.Printf("\nsummary: %d outages, %d repairs, %d unpoisons, %d recoveries over %.1f virtual hours",
-		len(sys.EventsOfKind(lifeguard.EventOutage)),
-		len(sys.EventsOfKind(lifeguard.EventRepair)),
-		len(sys.EventsOfKind(lifeguard.EventUnpoison)),
-		len(sys.EventsOfKind(lifeguard.EventRecovered)),
-		n.Clk.Now().Hours())
+	var outs, reps, unps, recs int
+	for _, v := range views {
+		outs += len(v.s.EventsOfKind(lifeguard.EventOutage))
+		reps += len(v.s.EventsOfKind(lifeguard.EventRepair))
+		unps += len(v.s.EventsOfKind(lifeguard.EventUnpoison))
+		recs += len(v.s.EventsOfKind(lifeguard.EventRecovered))
+	}
+	fmt.Printf("\nsummary: %d tenants, %d outages, %d repairs, %d unpoisons, %d recoveries over %.1f virtual hours",
+		len(views), outs, reps, unps, recs, n.Clk.Now().Hours())
 	if interrupted {
 		fmt.Printf(" (interrupted)")
 	}
@@ -195,26 +278,35 @@ loop:
 	return reg.Snapshot().WriteJSON(os.Stdout)
 }
 
-func printEvent(n *lifeguard.Network, e lifeguard.Event) {
+func printEvent(v *tenantView, e lifeguard.Event) {
+	tn := v.s.Tenant()
 	switch e.Kind {
 	case lifeguard.EventOutage:
-		fmt.Printf("[%8s] OUTAGE   vp r%d cannot reach %v\n", fmtD(e.At), e.VP, e.Target)
+		fmt.Printf("[%8s] %s OUTAGE   vp r%d cannot reach %v\n", fmtD(e.At), tn, e.VP, e.Target)
 	case lifeguard.EventIsolated:
 		rep := e.Report
 		if rep.Healed {
-			fmt.Printf("[%8s] ISOLATE  transient — already healed\n", fmtD(e.At))
+			fmt.Printf("[%8s] %s ISOLATE  transient — already healed\n", fmtD(e.At), tn)
 			return
 		}
-		fmt.Printf("[%8s] ISOLATE  %v failure blamed on AS%d (traceroute alone would say AS%d; %d probes, ~%s)\n",
-			fmtD(e.At), rep.Direction, rep.Blamed, rep.TracerouteBlame,
+		fmt.Printf("[%8s] %s ISOLATE  %v failure blamed on AS%d (traceroute alone would say AS%d; %d probes, ~%s)\n",
+			fmtD(e.At), tn, rep.Direction, rep.Blamed, rep.TracerouteBlame,
 			rep.ProbesUsed, fmtD(rep.EstimatedDuration))
 	case lifeguard.EventRepair:
-		fmt.Printf("[%8s] REPAIR   %v (avoiding AS%d)\n", fmtD(e.At), e.Action, e.Avoided)
+		fmt.Printf("[%8s] %s REPAIR   %v (avoiding AS%d)\n", fmtD(e.At), tn, e.Action, e.Avoided)
 	case lifeguard.EventRecovered:
-		fmt.Printf("[%8s] RECOVER  traffic to %v restored\n", fmtD(e.At), e.Target)
+		fmt.Printf("[%8s] %s RECOVER  traffic to %v restored\n", fmtD(e.At), tn, e.Target)
 	case lifeguard.EventUnpoison:
-		fmt.Printf("[%8s] UNPOISON sentinel saw AS%d heal; baseline announcement restored\n",
-			fmtD(e.At), e.Avoided)
+		fmt.Printf("[%8s] %s UNPOISON sentinel saw AS%d heal; baseline announcement restored\n",
+			fmtD(e.At), tn, e.Avoided)
+	case lifeguard.EventControlCrash:
+		fmt.Printf("[%8s] %s CRASH    control plane down (routes retained)\n", fmtD(e.At), tn)
+	case lifeguard.EventControlRestore:
+		fmt.Printf("[%8s] %s RESTORE  control plane back; deferred re-announce done\n", fmtD(e.At), tn)
+	case lifeguard.EventFailsafeEnter:
+		fmt.Printf("[%8s] %s FAILSAFE monitor lost — repairs suspended\n", fmtD(e.At), tn)
+	case lifeguard.EventFailsafeExit:
+		fmt.Printf("[%8s] %s HEALTHY  monitor back — repairs resume\n", fmtD(e.At), tn)
 	}
 }
 

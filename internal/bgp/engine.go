@@ -246,6 +246,21 @@ func (e *Engine) Origins(asn topo.ASN) []OriginAnnouncement {
 	return out
 }
 
+// ReannounceOrigins re-announces every prefix asn already originates with
+// its installed config, in sorted prefix order, and returns how many were
+// re-sent. This is the deferred re-announce at the end of a graceful
+// restart: the origin state survived the control-plane outage (stale-route
+// retention), and replaying it refreshes neighbors without ever having
+// withdrawn — routes that did not change produce no routing churn beyond
+// the refresh updates themselves. Zero for an unknown AS.
+func (e *Engine) ReannounceOrigins(asn topo.ASN) int {
+	anns := e.Origins(asn)
+	for _, a := range anns {
+		e.Announce(asn, a.Prefix, a.Config)
+	}
+	return len(anns)
+}
+
 // SetLinkExtraDelay adds d of control-plane propagation delay to every BGP
 // message crossing the a–b adjacency (both directions); d = 0 removes the
 // slowdown, and a negative d panics — it is always a caller bug, never a

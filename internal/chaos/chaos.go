@@ -28,13 +28,30 @@ import (
 // Target is the simulated internetwork a chaos run mutates. It mirrors the
 // facade's Network bundle without importing it (the root package re-exports
 // a constructor), so experiments and tests can aim chaos at hand-built rigs
-// too. Journal may be nil (events are then discarded).
+// too. Journal may be nil (events are then discarded). Control is optional:
+// only targets that host LIFEGUARD sessions (the facade's Rig) have
+// control planes to crash, and only the crashcontrol fault needs it.
 type Target struct {
 	Top     *topo.Topology
 	Clk     *simclock.Scheduler
 	Eng     *bgp.Engine
 	Plane   *dataplane.Plane
 	Journal *obs.Journal
+	Control ControlPlane
+}
+
+// ControlPlane lets chaos crash and restore a tenant's LIFEGUARD control
+// plane — monitor, isolation, and repair engine — while the simulated
+// internetwork (and the tenant's announced routes) keeps running. The
+// facade's Rig implements it; restart semantics (graceful or not) are the
+// session's own policy, not the fault's.
+type ControlPlane interface {
+	// HasControl reports whether origin hosts a crashable control plane.
+	HasControl(origin topo.ASN) bool
+	// CrashControl takes origin's control plane down.
+	CrashControl(origin topo.ASN)
+	// RestoreControl brings it back up.
+	RestoreControl(origin topo.ASN)
 }
 
 // validate reports the first missing mandatory component.

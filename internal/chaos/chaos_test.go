@@ -30,6 +30,7 @@ at 15s for 1m oneway 30 20
 at 20s for 5m loss 40 0.3 7
 at 30s for 1m sessionreset 40 50
 at 40s for 2m crash 70
+at 45s for 90s crashcontrol 10
 at 50s for 3m delay 30 60 2s
 at 1m for 2m blackhole 30 10.10.0.0/16
 at 10m oneway 20 10
@@ -39,8 +40,8 @@ at 12m check
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(s.Steps) != 10 {
-		t.Fatalf("parsed %d steps, want 10", len(s.Steps))
+	if len(s.Steps) != 11 {
+		t.Fatalf("parsed %d steps, want 11", len(s.Steps))
 	}
 	canon := s.String()
 	s2, err := Parse(canon)

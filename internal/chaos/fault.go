@@ -194,6 +194,44 @@ func (f *RouterCrash) Heal(t *Target) {
 	f.saved = nil
 }
 
+// ControlCrash crashes the LIFEGUARD control plane of the session whose
+// origin is AS — monitor rounds stop, isolation and repair decisions are
+// suspended — while the simulated internetwork keeps forwarding and the
+// session's announced routes stay installed. Heal restores the control
+// plane; whether the restart is graceful (stale-route retention + deferred
+// re-announce) or a full withdraw/re-announce is the session's configured
+// policy. This is the OpenPERouter-style lifecycle decoupling fault: it
+// exercises the contract that the data plane survives a control restart.
+type ControlCrash struct {
+	AS topo.ASN
+}
+
+// Kind implements Fault.
+func (f *ControlCrash) Kind() string { return "crashcontrol" }
+
+// String implements Fault.
+func (f *ControlCrash) String() string { return fmt.Sprintf("crashcontrol %d", f.AS) }
+
+// Validate implements Fault.
+func (f *ControlCrash) Validate(t *Target) error {
+	if err := requireAS(t, f.AS); err != nil {
+		return err
+	}
+	if t.Control == nil {
+		return fmt.Errorf("chaos: crashcontrol %d: target has no control plane hooks", f.AS)
+	}
+	if !t.Control.HasControl(f.AS) {
+		return fmt.Errorf("chaos: crashcontrol %d: no session with that origin", f.AS)
+	}
+	return nil
+}
+
+// Inject implements Fault.
+func (f *ControlCrash) Inject(t *Target) { t.Control.CrashControl(f.AS) }
+
+// Heal implements Fault.
+func (f *ControlCrash) Heal(t *Target) { t.Control.RestoreControl(f.AS) }
+
 // UpdateDelay slows BGP propagation across the A–B adjacency by Delay per
 // message in both directions — a congested or deprioritized control plane.
 // Routing stays correct; convergence after other events just takes longer,

@@ -24,6 +24,7 @@ import (
 //	loss <as> <prob> <seed>
 //	sessionreset <asA> <asB>
 //	crash <as>
+//	crashcontrol <originAS>
 //	delay <asA> <asB> <duration>
 //	blackhole <as> <dstPrefix>
 //
@@ -91,7 +92,8 @@ func parseFault(f []string) (Fault, error) {
 	kind, args := f[0], f[1:]
 	argc := map[string]int{
 		"linkdown": 2, "oneway": 2, "loss": 3,
-		"sessionreset": 2, "crash": 1, "delay": 3, "blackhole": 2,
+		"sessionreset": 2, "crash": 1, "crashcontrol": 1,
+		"delay": 3, "blackhole": 2,
 	}
 	n, ok := argc[kind]
 	if !ok {
@@ -127,6 +129,9 @@ func parseFault(f []string) (Fault, error) {
 	case "crash":
 		asn, err := parseASN(args[0])
 		return &RouterCrash{AS: asn}, err
+	case "crashcontrol":
+		asn, err := parseASN(args[0])
+		return &ControlCrash{AS: asn}, err
 	case "delay":
 		a, b, err := twoASNs(args[:2])
 		if err != nil {

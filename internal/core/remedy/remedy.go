@@ -162,7 +162,8 @@ type Controller struct {
 	// History lists finished and active repairs.
 	History []*Repair
 
-	ticker simclock.EventID
+	ticker    simclock.EventID
+	suspended bool
 
 	obs controllerObs
 }
@@ -319,8 +320,42 @@ func (c *Controller) Unpoison() {
 	}
 }
 
+// Suspend cancels the sentinel ticker without closing the active repair —
+// the control-plane-down half of a graceful restart. The poisoned
+// announcement stays in the routing system (stale-route retention); only
+// the periodic healing checks pause. No-op when idle or already suspended.
+func (c *Controller) Suspend() {
+	if c.suspended {
+		return
+	}
+	c.suspended = true
+	if c.active != nil {
+		c.clk.Cancel(c.ticker)
+	}
+}
+
+// Resume re-arms the sentinel ticker after a Suspend. The next check fires
+// one SentinelInterval from now, so a restart defers — never skips — the
+// healing decision. No-op unless suspended.
+func (c *Controller) Resume() {
+	if !c.suspended {
+		return
+	}
+	c.suspended = false
+	if c.active != nil {
+		c.armSentinel()
+	}
+}
+
+// Suspended reports whether sentinel checks are paused.
+func (c *Controller) Suspended() bool { return c.suspended }
+
 // armSentinel schedules periodic sentinel checks while a repair is active.
+// Suspended controllers don't arm; Resume re-arms for them.
 func (c *Controller) armSentinel() {
+	if c.suspended {
+		return
+	}
 	var tick func()
 	tick = func() {
 		if c.active == nil {

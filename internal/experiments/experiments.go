@@ -156,6 +156,7 @@ func All() []Experiment {
 		{"tab2", "Internet-wide update load from poisoning (Table 2, §5.4)", single(noObs(Table2))},
 		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", single(baselines)},
 		{"chaos", "scripted fault timelines vs the repair loop, by intensity", chaosScenario},
+		{"multitenant", "per-tenant repair pipelines on a shared rig, by tenant count", multitenantScenario},
 	}
 }
 

@@ -171,6 +171,24 @@ func TestChaosShape(t *testing.T) {
 	inRange(t, r, "ttr_mean_min", 0.5, 10)
 }
 
+func TestMultitenantShape(t *testing.T) {
+	r := Multitenant(1)
+	// Every placed tenant detects its own failure, and most repair it
+	// with a poison; what a tenant's policy refuses it refuses solo too.
+	inRange(t, r, "repair_frac_n1", 1, 1)
+	inRange(t, r, "repair_frac_n2", 0.5, 1)
+	inRange(t, r, "repair_frac_n4", 0.5, 1)
+	// The headline: per-tenant outage→poison latency is flat in tenant
+	// count (detection grid + 5-minute maturity, regardless of N).
+	for _, k := range []string{"ttr_mean_min_n1", "ttr_mean_min_n2", "ttr_mean_min_n4"} {
+		inRange(t, r, k, 2, 7)
+	}
+	if d := r.Values["ttr_mean_min_n4"] - r.Values["ttr_mean_min_n1"]; d > 1 || d < -1 {
+		t.Fatalf("per-tenant repair latency not flat in tenant count: n1=%.2f n4=%.2f",
+			r.Values["ttr_mean_min_n1"], r.Values["ttr_mean_min_n4"])
+	}
+}
+
 func TestAllRunnableAndRendered(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full sweep is covered by individual shape tests")
@@ -197,8 +215,8 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("chaos"); !ok {
 		t.Fatal("chaos missing")
 	}
-	if len(All()) != 13 {
-		t.Fatalf("expected 13 experiments, got %d", len(All()))
+	if len(All()) != 14 {
+		t.Fatalf("expected 14 experiments, got %d", len(All()))
 	}
 }
 

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"lifeguard"
+	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/metrics"
+	"lifeguard/internal/obs"
+	"lifeguard/internal/splice"
+)
+
+// The multitenant experiment measures the Rig/Session split under load:
+// one shared internetwork hosts N tenant sessions, every tenant is hit by
+// its own concurrent silent failure, and each must independently detect,
+// isolate, poison, recover, and unpoison — with per-tenant repair latency
+// flat in N. Interference would show up as missed repairs or latency
+// growing with tenant count; the companion determinism test
+// (TestRigMultiTenantMatchesSoloSessions) proves the stronger property
+// that each tenant's history is byte-identical to a solo run.
+
+// multitenantCounts is the tenant-count sweep.
+var multitenantCounts = []int{1, 2, 4}
+
+// mtPart is one tenant-count level's outcome.
+type mtPart struct {
+	tenants   int
+	placed    int // scenarios actually found on this topology
+	detected  int // tenants that declared the outage
+	poisoned  int // tenants whose repair decision was a poison
+	recovered int // tenants whose monitored traffic came back
+	unpoison  int // tenants that reverted to baseline after the heal
+	ttrSum    float64
+}
+
+var multitenantScenario = Scenario{
+	Trials: func(seed int64) []Trial {
+		var ts []Trial
+		for _, count := range multitenantCounts {
+			count := count
+			ts = append(ts, Trial{
+				Name: fmt.Sprintf("tenants=%d", count),
+				Run:  func(reg *obs.Registry) any { return multitenantTrial(seed, count, reg) },
+			})
+		}
+		return ts
+	},
+	Reduce: reduceMultitenant,
+}
+
+// Multitenant runs the tenant-count sweep; see multitenantScenario.
+func Multitenant(seed int64) *Result { return multitenantScenario.Run(seed) }
+
+// mtScenario is one tenant: an origin monitoring one target with one
+// avoidable transit to blame. Origins and targets are pairwise disjoint
+// across tenants, so the concurrent failures are independent by
+// construction and any cross-tenant effect is the rig's fault.
+type mtScenario struct {
+	origin, target, blame lifeguard.ASN
+}
+
+// mtFindScenarios mirrors the rig test's scenario search: disjoint
+// (origin, target, blame) triples where the origin can poison around the
+// blamed transit on the reverse path.
+func mtFindScenarios(n *lifeguard.Network, helper lifeguard.ASN, count int) []mtScenario {
+	used := map[lifeguard.ASN]bool{helper: true}
+	var out []mtScenario
+	for _, o := range n.Gen.Stubs {
+		if len(out) == count {
+			break
+		}
+		if used[o] {
+			continue
+		}
+	search:
+		for _, cand := range n.Gen.Stubs {
+			if cand == o || used[cand] {
+				continue
+			}
+			path := n.Eng.ASPathTo(cand, lifeguard.ProductionAddr(o))
+			for _, hop := range path {
+				if hop == o || hop == cand {
+					continue
+				}
+				if splice.CanReach(n.Top, cand, o, splice.Avoid1(hop)) {
+					out = append(out, mtScenario{origin: o, target: cand, blame: hop})
+					used[o], used[cand] = true, true
+					break search
+				}
+			}
+		}
+	}
+	return out
+}
+
+func multitenantTrial(seed int64, count int, reg *obs.Registry) mtPart {
+	if reg == nil {
+		reg = obs.New()
+	}
+	n, err := lifeguard.GenerateInternet(
+		lifeguard.InternetConfig{Seed: seed, NumTransit: 12, NumStub: 30},
+		lifeguard.NetworkOptions{
+			Seed: seed,
+			// Small rng-free MRAI keeps convergence transients below the
+			// monitor grid, as in the rig determinism test.
+			BGP: lifeguard.BGPConfig{MRAI: 200 * time.Millisecond, MRAIJitter: -1, PropJitter: -1},
+			Obs: reg,
+		})
+	if err != nil {
+		panic(fmt.Sprintf("multitenant experiment: %v", err))
+	}
+	helper := n.Gen.Stubs[len(n.Gen.Stubs)-1]
+	scenarios := mtFindScenarios(n, helper, count)
+
+	rig := lifeguard.NewRig(n)
+	sessions := make([]*lifeguard.Session, len(scenarios))
+	for i, sc := range scenarios {
+		s, err := rig.AddSession(lifeguard.SessionConfig{Config: lifeguard.Config{
+			Origin:  sc.origin,
+			VPs:     []lifeguard.RouterID{n.Hub(sc.origin), n.Hub(helper)},
+			Targets: []netip.Addr{n.RouterAddr(n.Hub(sc.target))},
+		}})
+		if err != nil {
+			panic(fmt.Sprintf("multitenant experiment: %v", err))
+		}
+		sessions[i] = s
+	}
+	rig.Start()
+	n.Clk.RunFor(3 * time.Minute)
+
+	// Every tenant's transit fails at the same instant: N concurrent
+	// silent failures, one per tenant, scoped to that tenant's block.
+	ids := make([]lifeguard.FailureID, len(scenarios))
+	for i, sc := range scenarios {
+		ids[i] = n.InjectFailure(lifeguard.BlackholeASTowards(sc.blame, lifeguard.Block(sc.origin)))
+	}
+	n.Clk.RunFor(12 * time.Minute)
+	for _, id := range ids {
+		n.HealFailure(id)
+	}
+	n.Clk.RunFor(6 * time.Minute)
+	rig.Stop()
+
+	part := mtPart{tenants: count, placed: len(scenarios)}
+	for _, s := range sessions {
+		outages := s.EventsOfKind(lifeguard.EventOutage)
+		if len(outages) == 0 {
+			continue
+		}
+		part.detected++
+		for _, e := range s.EventsOfKind(lifeguard.EventRepair) {
+			if e.Action == remedy.Poisoned {
+				part.poisoned++
+				part.ttrSum += (e.At - outages[0].At).Seconds()
+				break
+			}
+		}
+		if len(s.EventsOfKind(lifeguard.EventRecovered)) > 0 {
+			part.recovered++
+		}
+		if len(s.EventsOfKind(lifeguard.EventUnpoison)) > 0 {
+			part.unpoison++
+		}
+	}
+	return part
+}
+
+func reduceMultitenant(_ int64, parts []any) *Result {
+	r := newResult("multitenant", "per-tenant repair pipelines on a shared rig")
+	tab := &metrics.Table{
+		Title:  "multitenant — N concurrent tenant outages on one rig",
+		Header: []string{"tenants", "detected", "poisoned", "recovered", "unpoisoned", "mean outage→poison (min)"},
+	}
+	for _, p := range parts {
+		m := p.(mtPart)
+		mean := 0.0
+		if m.poisoned > 0 {
+			mean = m.ttrSum / float64(m.poisoned) / 60
+		}
+		tab.AddRow(m.placed, m.detected, m.poisoned, m.recovered, m.unpoison, mean)
+		r.Values[fmt.Sprintf("poisoned_n%d", m.tenants)] = float64(m.poisoned)
+		r.Values[fmt.Sprintf("recovered_n%d", m.tenants)] = float64(m.recovered)
+		r.Values[fmt.Sprintf("ttr_mean_min_n%d", m.tenants)] = mean
+		if m.placed > 0 {
+			r.Values[fmt.Sprintf("repair_frac_n%d", m.tenants)] = float64(m.poisoned) / float64(m.placed)
+		}
+	}
+	r.addTable(tab)
+	r.notef("beyond the paper: the single-origin deployment of §3 generalized to N tenants on one rig; every tenant runs the full detect→isolate→poison→recover→unpoison pipeline against its own concurrent failure, and flat per-tenant latency across N shows sessions do not contend")
+	r.notef("the companion test TestRigMultiTenantMatchesSoloSessions proves the stronger contract: per-tenant histories and metrics are byte-identical to dedicated single-session runs")
+	return r
+}

@@ -85,6 +85,9 @@ type Monitor struct {
 	// rounds); OnRecovery fires when a declared outage heals.
 	OnOutage   func(o *Outage)
 	OnRecovery func(o *Outage)
+	// OnRound fires after every completed monitoring round — the
+	// heartbeat a failsafe watchdog uses to detect monitor loss.
+	OnRound func()
 
 	pairs []pairKey
 	state map[pairKey]*pairState
@@ -173,10 +176,25 @@ func (m *Monitor) Stop() {
 	}
 }
 
+// SetInterval retunes the round cadence. The new interval takes effect
+// when the next round re-arms, so an in-flight wait completes on the old
+// cadence — a hitless retune, no round is dropped or duplicated.
+func (m *Monitor) SetInterval(d time.Duration) {
+	if d > 0 {
+		m.cfg.Interval = d
+	}
+}
+
+// Interval returns the current round cadence.
+func (m *Monitor) Interval() time.Duration { return m.cfg.Interval }
+
 // Round performs one monitoring round over all pairs immediately.
 func (m *Monitor) Round() {
 	for _, k := range m.pairs {
 		m.roundFor(k)
+	}
+	if m.OnRound != nil {
+		m.OnRound()
 	}
 }
 

@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestChildAvoidsTenantCollision is the collision guard the multi-tenant
+// facade relies on: two tenants registering the same metric name through
+// differently-scoped children get distinct series, where registering
+// through the shared root would silently hand both the same counter.
+func TestChildAvoidsTenantCollision(t *testing.T) {
+	root := New()
+	a := root.Child(L("tenant", "AS64512"))
+	b := root.Child(L("tenant", "AS64513"))
+
+	ca := a.Counter("lifeguard_monitor_ping_rounds_total")
+	cb := b.Counter("lifeguard_monitor_ping_rounds_total")
+	if ca == cb {
+		t.Fatal("tenants share a counter despite distinct scopes")
+	}
+	ca.Add(3)
+	cb.Add(5)
+	if got := ca.Value(); got != 3 {
+		t.Fatalf("tenant A counter = %d, want 3 (crosstalk?)", got)
+	}
+	if got := cb.Value(); got != 5 {
+		t.Fatalf("tenant B counter = %d, want 5 (crosstalk?)", got)
+	}
+
+	// The shared-root collision the guard exists for: same name, no scope.
+	shared1 := root.Counter("lifeguard_monitor_ping_rounds_total")
+	shared2 := root.Counter("lifeguard_monitor_ping_rounds_total")
+	if shared1 != shared2 {
+		t.Fatal("unscoped registration should collide (same series)")
+	}
+	if shared1 == ca || shared1 == cb {
+		t.Fatal("root series aliases a tenant series")
+	}
+
+	// Re-fetch through the same child returns the same handle.
+	if a.Counter("lifeguard_monitor_ping_rounds_total") != ca {
+		t.Fatal("re-registration through the same child must re-fetch")
+	}
+}
+
+// TestChildSnapshotPartition: a child's snapshot covers exactly its scope,
+// and equals the snapshot a dedicated root would have produced.
+func TestChildSnapshotPartition(t *testing.T) {
+	root := New()
+	root.Describe("lifeguard_x_total", "things")
+	root.Counter("lifeguard_unscoped_total").Add(7)
+	a := root.Child(L("tenant", "AS1"))
+	b := root.Child(L("tenant", "AS2"))
+	a.Counter("lifeguard_x_total").Add(2)
+	a.Histogram("lifeguard_d_seconds", []float64{1, 5}).Observe(3)
+	b.Counter("lifeguard_x_total").Add(9)
+
+	solo := New()
+	solo.Describe("lifeguard_x_total", "things")
+	sa := solo.Child(L("tenant", "AS1"))
+	sa.Counter("lifeguard_x_total").Add(2)
+	sa.Histogram("lifeguard_d_seconds", []float64{1, 5}).Observe(3)
+
+	if !a.Snapshot().equal(sa.Snapshot()) {
+		var got, want bytes.Buffer
+		a.Snapshot().WriteJSON(&got)
+		sa.Snapshot().WriteJSON(&want)
+		t.Fatalf("partition snapshot differs from dedicated root:\ngot:\n%s\nwant:\n%s",
+			got.String(), want.String())
+	}
+	for _, m := range a.Snapshot().Metrics {
+		if m.Name == "lifeguard_unscoped_total" {
+			t.Fatal("child snapshot leaked an unscoped series")
+		}
+	}
+	if n := len(b.Snapshot().Metrics); n != 1 {
+		t.Fatalf("tenant B partition has %d series, want 1", n)
+	}
+	// Root still sees everything.
+	if n := len(root.Snapshot().Metrics); n != 4 {
+		t.Fatalf("root snapshot has %d series, want 4", n)
+	}
+}
+
+// TestChildPanics covers the guard rails: empty scope, duplicate scope
+// keys (directly, via nesting, and via a registration-time label), and
+// merging through a view.
+func TestChildPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"empty scope", func(r *Registry) { r.Child() }},
+		{"dup key in scope", func(r *Registry) { r.Child(L("t", "a"), L("t", "b")) }},
+		{"dup key via nesting", func(r *Registry) { r.Child(L("t", "a")).Child(L("t", "b")) }},
+		{"scope key reused at registration", func(r *Registry) {
+			r.Child(L("t", "a")).Counter("lifeguard_x_total", L("t", "b"))
+		}},
+		{"merge into child", func(r *Registry) { r.Child(L("t", "a")).Merge(New()) }},
+		{"merge from child", func(r *Registry) { r.Merge(New().Child(L("t", "a"))) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f(New())
+		})
+	}
+}
+
+// TestChildNestingAndNil: nested scopes compose; nil stays disabled.
+func TestChildNestingAndNil(t *testing.T) {
+	root := New()
+	c := root.Child(L("tenant", "AS1")).Child(L("role", "sentinel"))
+	c.Counter("lifeguard_x_total").Inc()
+	m := findMetric(t, c, "lifeguard_x_total")
+	if len(m.Labels) != 2 || m.Labels[0] != L("role", "sentinel") || m.Labels[1] != L("tenant", "AS1") {
+		t.Fatalf("composed scope labels wrong: %v", m.Labels)
+	}
+
+	var nilReg *Registry
+	if nilReg.Child(L("t", "a")) != nil {
+		t.Fatal("Child of nil registry must stay nil")
+	}
+	if nilReg.Child(L("t", "a")).Counter("lifeguard_x_total") != nil {
+		t.Fatal("nil child must hand out nil handles")
+	}
+}

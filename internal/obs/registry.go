@@ -84,10 +84,22 @@ type series struct {
 // Registration takes a mutex; the returned handles are lock-free atomics,
 // safe to update from any goroutine and to snapshot concurrently (e.g.
 // from the HTTP exporter while the simulation runs).
+//
+// A Registry obtained from Child is a *scoped view*: it shares the root's
+// series storage but stamps a fixed label set onto every registration, and
+// its Snapshot covers only the stamped partition. Views are how tenants
+// sharing one process-wide registry avoid series collisions — see Child.
 type Registry struct {
 	mu     sync.Mutex
 	series map[string]*series
 	help   map[string]string
+
+	// parent is nil at a root registry; a child view delegates all series
+	// storage to the root and only carries its scope.
+	parent *Registry
+	// scope is the label set a child view stamps on every series it
+	// registers (sorted by key; empty at a root).
+	scope []Label
 }
 
 // New returns an empty registry.
@@ -98,15 +110,54 @@ func New() *Registry {
 // Enabled reports whether the registry records anything.
 func (r *Registry) Enabled() bool { return r != nil }
 
+// root resolves a view to the registry that owns the series storage.
+func (r *Registry) root() *Registry {
+	for r.parent != nil {
+		r = r.parent
+	}
+	return r
+}
+
+// scoped prepends the view's scope labels to a registration's own labels.
+func (r *Registry) scoped(labels []Label) []Label {
+	if len(r.scope) == 0 {
+		return labels
+	}
+	out := make([]Label, 0, len(r.scope)+len(labels))
+	out = append(out, r.scope...)
+	out = append(out, labels...)
+	return out
+}
+
+// Child returns a scoped view of the registry: every series registered
+// through the view carries the given labels in addition to its own, and the
+// view's Snapshot covers exactly that partition. Two tenants registering
+// the same metric name through differently-scoped children therefore get
+// distinct series instead of silently sharing (or panicking over) one —
+// the collision guard the multi-tenant facade relies on. Registering a
+// label whose key collides with a scope key panics, as does nesting
+// children with a repeated key. Child of a nil registry is nil (still
+// disabled); Child of a child composes scopes.
+func (r *Registry) Child(labels ...Label) *Registry {
+	if r == nil {
+		return nil
+	}
+	if len(labels) == 0 {
+		panic("obs: Child needs at least one scope label")
+	}
+	return &Registry{parent: r.root(), scope: canonLabels(r.scoped(labels))}
+}
+
 // Describe attaches HELP text to a metric family. Safe on a nil registry.
 func (r *Registry) Describe(name, help string) {
 	if r == nil {
 		return
 	}
 	mustValidName(name)
-	r.mu.Lock()
-	r.help[name] = help
-	r.mu.Unlock()
+	root := r.root()
+	root.mu.Lock()
+	root.help[name] = help
+	root.mu.Unlock()
 }
 
 // Counter registers (or re-fetches) a monotonically increasing counter.
@@ -116,7 +167,7 @@ func (r *Registry) Counter(name string, labels ...Label) *Counter {
 	if r == nil {
 		return nil
 	}
-	return r.getSeries(name, labels, kindCounter, nil).c
+	return r.root().getSeries(name, r.scoped(labels), kindCounter, nil).c
 }
 
 // Gauge registers (or re-fetches) a gauge.
@@ -124,7 +175,7 @@ func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
 	if r == nil {
 		return nil
 	}
-	return r.getSeries(name, labels, kindGauge, nil).g
+	return r.root().getSeries(name, r.scoped(labels), kindGauge, nil).g
 }
 
 // Histogram registers (or re-fetches) a fixed-bucket histogram. Buckets
@@ -145,7 +196,7 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...Label) *H
 			panic(fmt.Sprintf("obs: histogram %s: buckets not strictly increasing", name))
 		}
 	}
-	return r.getSeries(name, labels, kindHistogram, buckets).h
+	return r.root().getSeries(name, r.scoped(labels), kindHistogram, buckets).h
 }
 
 // getSeries finds or creates the series under the registry lock.
@@ -301,10 +352,15 @@ func (f *atomicFloat64) load() float64 { return math.Float64frombits(f.bits.Load
 // registry regardless of how the trials were scheduled.
 //
 // Merge is a no-op when either registry is nil. It panics if a series
-// exists in both with different kinds or histogram buckets.
+// exists in both with different kinds or histogram buckets, and on a child
+// view on either side: a scoped merge would have to rewrite labels, and no
+// caller needs it — merge roots, partition afterwards.
 func (r *Registry) Merge(src *Registry) {
 	if r == nil || src == nil {
 		return
+	}
+	if r.parent != nil || src.parent != nil {
+		panic("obs: Merge on a child registry view; merge the roots instead")
 	}
 	type seriesVal struct {
 		s       *series

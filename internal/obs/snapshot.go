@@ -43,25 +43,45 @@ type Snapshot struct {
 // consistent ordering, not a consistent cut — fine for monitoring, and
 // exact once the simulation has quiesced). A nil registry snapshots
 // empty.
+//
+// On a child view (see Child) the snapshot covers only the view's
+// partition: series carrying every scope label, with HELP text restricted
+// to the families present. Equal partitions render byte-identical
+// snapshots whether they came from a shared root or a dedicated one — the
+// property the multi-tenant determinism tests diff against.
 func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
-	r.mu.Lock()
-	keys := make([]string, 0, len(r.series))
-	for k := range r.series {
-		keys = append(keys, k)
+	scope := r.scope
+	root := r.root()
+	root.mu.Lock()
+	keys := make([]string, 0, len(root.series))
+	for k := range root.series {
+		if hasLabels(root.series[k].labels, scope) {
+			keys = append(keys, k)
+		}
 	}
 	sort.Strings(keys)
 	snap := Snapshot{Metrics: make([]Metric, 0, len(keys))}
-	if len(r.help) > 0 {
-		snap.Help = make(map[string]string, len(r.help))
-		for k, v := range r.help {
+	if len(root.help) > 0 && len(scope) == 0 {
+		snap.Help = make(map[string]string, len(root.help))
+		for k, v := range root.help {
 			snap.Help[k] = v
+		}
+	} else if len(root.help) > 0 {
+		for _, k := range keys {
+			name := root.series[k].name
+			if h, ok := root.help[name]; ok {
+				if snap.Help == nil {
+					snap.Help = make(map[string]string)
+				}
+				snap.Help[name] = h
+			}
 		}
 	}
 	for _, k := range keys {
-		s := r.series[k]
+		s := root.series[k]
 		m := Metric{Name: s.name, Labels: s.labels, Kind: s.kind.String()}
 		switch s.kind {
 		case kindCounter:
@@ -79,8 +99,24 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		snap.Metrics = append(snap.Metrics, m)
 	}
-	r.mu.Unlock()
+	root.mu.Unlock()
 	return snap
+}
+
+// hasLabels reports whether ls (sorted by key) contains every label of
+// want (also sorted) with an equal value.
+func hasLabels(ls, want []Label) bool {
+	i := 0
+	for _, w := range want {
+		for i < len(ls) && ls[i].Key < w.Key {
+			i++
+		}
+		if i >= len(ls) || ls[i] != w {
+			return false
+		}
+		i++
+	}
+	return true
 }
 
 // WriteJSON renders the snapshot as indented JSON. encoding/json sorts

@@ -1,6 +1,7 @@
 package lifeguard
 
 import (
+	"fmt"
 	"net/netip"
 	"time"
 
@@ -8,8 +9,6 @@ import (
 	"lifeguard/internal/core/isolation"
 	"lifeguard/internal/core/remedy"
 	"lifeguard/internal/monitor"
-	"lifeguard/internal/obs"
-	"lifeguard/internal/topo"
 )
 
 // Config parameterizes a System deployment.
@@ -34,19 +33,26 @@ type Config struct {
 	DisableAutoRepair bool
 }
 
-// EventKind classifies System history entries.
+// EventKind classifies Session history entries.
 type EventKind int
 
-// System event kinds.
+// Session event kinds. New kinds are appended — the numeric values of
+// existing kinds are part of the journal compatibility surface.
 const (
 	EventOutage EventKind = iota
 	EventIsolated
 	EventRepair
 	EventUnpoison
 	EventRecovered
+	EventControlCrash
+	EventControlRestore
+	EventFailsafeEnter
+	EventFailsafeExit
 )
 
-// String names the event kind.
+// String names the event kind. Unknown values render as "eventkind(N)" —
+// stable across enum growth, so forward-compatible consumers can log them
+// without aliasing distinct unknown kinds to one string.
 func (k EventKind) String() string {
 	switch k {
 	case EventOutage:
@@ -59,12 +65,20 @@ func (k EventKind) String() string {
 		return "unpoison"
 	case EventRecovered:
 		return "recovered"
+	case EventControlCrash:
+		return "control-crash"
+	case EventControlRestore:
+		return "control-restore"
+	case EventFailsafeEnter:
+		return "failsafe-enter"
+	case EventFailsafeExit:
+		return "failsafe-exit"
 	default:
-		return "unknown"
+		return fmt.Sprintf("eventkind(%d)", int(k))
 	}
 }
 
-// Event is one entry of the system's history log.
+// Event is one entry of a session's history log.
 type Event struct {
 	At     time.Duration
 	Kind   EventKind
@@ -80,141 +94,19 @@ type Event struct {
 	Avoided ASN
 }
 
-// System is the full LIFEGUARD deployment over a Network: reachability
-// monitoring feeding failure isolation feeding the poisoning controller,
-// all driven by the virtual clock.
+// System is the single-tenant compatibility facade: one LIFEGUARD session
+// welded to one Network, exactly the shape the pre-Rig code used. It is a
+// thin wrapper — an unlabelled Session with the historical journal
+// subsystem ("system") and unscoped metrics — so existing tests,
+// experiments, and CLIs keep their byte-identical outputs. New code that
+// wants more than one tenant, control-plane restarts, or failsafe wiring
+// should use Rig/Session directly.
 type System struct {
-	Net      *Network
-	Atlas    *atlas.Atlas
-	Monitor  *monitor.Monitor
-	Isolator *isolation.Isolator
-	Remedy   *remedy.Controller
-
-	cfg Config
-
-	// History records everything the system did.
-	History []Event
+	*Session
 }
 
 // NewSystem wires a System over the network. Call Start to begin
 // monitoring, then advance the network clock.
 func NewSystem(n *Network, cfg Config) *System {
-	cfg.Remedy.Origin = cfg.Origin
-	s := &System{Net: n, cfg: cfg}
-
-	s.Atlas = atlas.New(n.Top, n.Prober, n.Clk, cfg.Atlas)
-	for _, vp := range cfg.VPs {
-		s.Atlas.AddVP(vp)
-	}
-	for _, t := range cfg.Targets {
-		s.Atlas.AddTarget(t)
-	}
-
-	s.Monitor = monitor.New(n.Prober, n.Clk, cfg.Monitor)
-	s.Monitor.Atlas = s.Atlas
-	for _, vp := range cfg.VPs {
-		for _, t := range cfg.Targets {
-			// Vantage points inside the origin AS probe from the
-			// production prefix, so the monitored reachability is
-			// exactly the traffic poisoning repairs.
-			if n.Top.Router(vp).AS == cfg.Origin {
-				s.Monitor.WatchFrom(vp, topo.ProductionAddr(cfg.Origin), t)
-			} else {
-				s.Monitor.Watch(vp, t)
-			}
-		}
-	}
-
-	s.Isolator = isolation.New(n.Top, n.Prober, s.Atlas, n.Clk, cfg.Isolation)
-	s.Remedy = remedy.New(n.Eng, n.Prober, n.Clk, cfg.Remedy)
-
-	// A nil registry makes every Instrument call a no-op, so wiring is
-	// unconditional.
-	s.Monitor.Instrument(n.Obs)
-	s.Isolator.Instrument(n.Obs)
-	s.Remedy.Instrument(n.Obs)
-
-	s.Monitor.OnOutage = s.handleOutage
-	s.Monitor.OnRecovery = func(o *monitor.Outage) {
-		s.log(Event{At: n.Clk.Now(), Kind: EventRecovered, VP: o.VP, Target: o.Target})
-	}
-	s.Remedy.OnUnpoison = func(r *remedy.Repair) {
-		s.log(Event{At: n.Clk.Now(), Kind: EventUnpoison, Target: r.Victim, Avoided: r.Avoided})
-	}
-	return s
-}
-
-// Start announces the origin's production and sentinel prefixes and begins
-// the atlas refresh and monitoring loops.
-func (s *System) Start() {
-	s.Remedy.AnnounceBaseline()
-	s.Atlas.Start()
-	s.Monitor.Start()
-}
-
-// Stop halts monitoring and atlas refresh (an active poison stays in place
-// until its sentinel clears it or Remedy.Unpoison is called).
-func (s *System) Stop() {
-	s.Monitor.Stop()
-	s.Atlas.Stop()
-}
-
-func (s *System) log(e Event) {
-	s.History = append(s.History, e)
-	if j := s.Net.Journal; j.Enabled() {
-		fields := []obs.Field{
-			obs.F("vp", e.VP),
-			obs.F("target", e.Target),
-		}
-		if e.Kind == EventRepair {
-			fields = append(fields, obs.F("action", e.Action), obs.F("avoided", e.Avoided))
-		}
-		if e.Kind == EventUnpoison {
-			fields = append(fields, obs.F("avoided", e.Avoided))
-		}
-		j.Record(e.At, "system", e.Kind.String(), fields...)
-	}
-}
-
-// handleOutage runs the paper's §4.2 pipeline: isolate now, then decide to
-// poison once the measurements would have completed and the outage has aged
-// past the threshold.
-func (s *System) handleOutage(o *monitor.Outage) {
-	now := s.Net.Clk.Now()
-	s.log(Event{At: now, Kind: EventOutage, VP: o.VP, Target: o.Target})
-
-	rep := s.Isolator.Isolate(o.VP, o.Target)
-	s.log(Event{At: now, Kind: EventIsolated, VP: o.VP, Target: o.Target, Report: rep})
-	if rep.Healed || s.cfg.DisableAutoRepair {
-		return
-	}
-
-	// The poison decision happens after isolation would have finished
-	// and no earlier than the minimum outage age.
-	decideAt := now + rep.EstimatedDuration
-	minAge := s.Remedy.Config().MinOutageAge
-	if t := o.Start + minAge; t > decideAt {
-		decideAt = t
-	}
-	s.Net.Clk.At(decideAt, func() {
-		if !s.Monitor.Down(o.VP, o.Target) {
-			return // healed while we waited
-		}
-		action := s.Remedy.DecideAndRepair(rep, o.Start)
-		s.log(Event{
-			At: s.Net.Clk.Now(), Kind: EventRepair, VP: o.VP, Target: o.Target,
-			Report: rep, Action: action, Avoided: rep.Blamed,
-		})
-	})
-}
-
-// EventsOfKind filters the history.
-func (s *System) EventsOfKind(k EventKind) []Event {
-	var out []Event
-	for _, e := range s.History {
-		if e.Kind == k {
-			out = append(out, e)
-		}
-	}
-	return out
+	return &System{Session: newSession(n, SessionConfig{Config: cfg})}
 }

@@ -2,6 +2,7 @@ package lifeguard_test
 
 import (
 	"net/netip"
+	"strings"
 	"testing"
 	"time"
 
@@ -99,4 +100,102 @@ func TestVisibleFailureOutageIsShort(t *testing.T) {
 			t.Fatalf("silent failure 'healed' without intervention: %+v", o)
 		}
 	}
+}
+
+// TestStopStartLifecycle pins the re-entrant lifecycle contract the
+// session refactor made reachable: Stop before Start is a no-op, Stop and
+// Start are idempotent, monitoring resumes after a Stop/Start cycle, and a
+// poison installed before the Stop survives it — Start must not clobber an
+// active repair with a fresh baseline announcement.
+func TestStopStartLifecycle(t *testing.T) {
+	n := fig2Network(t)
+	target := n.RouterAddr(n.Hub(asE))
+	sys := lifeguard.NewSystem(n, lifeguard.Config{
+		Origin:  asO,
+		VPs:     []lifeguard.RouterID{n.Hub(asO), n.Hub(asC)},
+		Targets: []netip.Addr{target},
+	})
+
+	sys.Stop() // Stop before Start: well-defined no-op
+	sys.Start()
+	sys.Start() // idempotent
+	n.Clk.RunFor(2 * time.Minute)
+	rounds := len(sys.Monitor.History)
+
+	sys.Stop()
+	sys.Stop() // idempotent
+	n.Clk.RunFor(5 * time.Minute)
+	if len(sys.Monitor.History) != rounds {
+		t.Fatal("monitor kept running after Stop")
+	}
+
+	// Start after Stop resumes detection end to end.
+	sys.Start()
+	n.Clk.RunFor(time.Minute)
+	n.InjectFailure(lifeguard.BlackholeASTowards(asA, lifeguard.Block(asO)))
+	n.Clk.RunFor(15 * time.Minute)
+	if len(sys.EventsOfKind(lifeguard.EventRepair)) == 0 {
+		t.Fatal("no repair after Stop/Start cycle")
+	}
+	if sys.Remedy.Active() == nil {
+		t.Fatal("expected an active poison")
+	}
+
+	// A Stop/Start cycle with the poison active must preserve it: E keeps
+	// routing around A, and no fresh baseline overwrote the poison.
+	sys.Stop()
+	sys.Start()
+	n.Converge()
+	if sys.Remedy.Active() == nil {
+		t.Fatal("restart dropped the active poison")
+	}
+	r, ok := n.Eng.BestRoute(asE, lifeguard.ProductionPrefix(asO))
+	if !ok || r.Path[0] != asD {
+		t.Fatalf("restart clobbered the poisoned announcement: E routes %+v", r)
+	}
+}
+
+// TestEventKindStringRoundTrip guards the journal vocabulary: every
+// defined kind has a unique stable name, and unknown values render as
+// "eventkind(N)" instead of aliasing to one opaque string — the enum grows
+// with the session lifecycle, and consumers must be able to tell new kinds
+// apart.
+func TestEventKindStringRoundTrip(t *testing.T) {
+	all := []lifeguard.EventKind{
+		lifeguard.EventOutage, lifeguard.EventIsolated, lifeguard.EventRepair,
+		lifeguard.EventUnpoison, lifeguard.EventRecovered,
+		lifeguard.EventControlCrash, lifeguard.EventControlRestore,
+		lifeguard.EventFailsafeEnter, lifeguard.EventFailsafeExit,
+	}
+	seen := make(map[string]lifeguard.EventKind, len(all))
+	for _, k := range all {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "eventkind(") {
+			t.Fatalf("kind %d has no proper name: %q", int(k), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("kinds %d and %d share the name %q", int(prev), int(k), s)
+		}
+		seen[s] = k
+	}
+	// The contiguous enum ends exactly where the named kinds do.
+	if next := lifeguard.EventFailsafeExit + 1; next.String() != "eventkind(9)" {
+		t.Fatalf("first unknown kind renders %q, want eventkind(9)", next.String())
+	}
+	for _, k := range []lifeguard.EventKind{99, -3} {
+		want := "eventkind(" + intString(int(k)) + ")"
+		if got := k.String(); got != want {
+			t.Fatalf("EventKind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func intString(n int) string {
+	if n < 0 {
+		return "-" + intString(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return intString(n/10) + string(rune('0'+n%10))
 }
