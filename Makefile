@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke daemon-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
+.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke hijack-smoke daemon-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
 
 all: build test lint
 
@@ -109,6 +109,22 @@ chaos-smoke:
 	diff $(BIN)/chaos_seq.json $(BIN)/chaos_par.json
 	@grep -q lifeguard_chaos_faults_injected_total $(BIN)/chaos_seq.json
 	@echo "chaos-smoke: zero violations; reports and snapshots byte-identical across parallelism"
+
+# hijack-smoke proves the hijack plane end to end: a scripted sub-prefix
+# hijack against a defended session must be detected, mitigated, and
+# cleared with zero invariant violations (lgchaos -hijack exits 3 on a
+# missing pipeline stage), and the report must be byte-identical
+# sequentially and on 4 workers.
+hijack-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lgchaos ./cmd/lgchaos
+	$(BIN)/lgchaos -hijack -seed 1 -trials 2 -parallel 1 >$(BIN)/hijack_seq.txt
+	$(BIN)/lgchaos -hijack -seed 1 -trials 2 -parallel 4 >$(BIN)/hijack_par.txt
+	diff $(BIN)/hijack_seq.txt $(BIN)/hijack_par.txt
+	@grep -q 'detected  sub-prefix' $(BIN)/hijack_seq.txt
+	@grep -q 'mitigated announced=' $(BIN)/hijack_seq.txt
+	@grep -q 'cleared   alarm down' $(BIN)/hijack_seq.txt
+	@echo "hijack-smoke: detected, mitigated, cleared; zero violations; reports byte-identical across parallelism"
 
 # daemon-smoke proves the long-running service contract end to end: a
 # multi-tenant lifeguardd with the metrics endpoint up must answer

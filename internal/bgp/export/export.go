@@ -36,6 +36,9 @@ func UpdateFor(origin topo.ASN, prefix netip.Prefix, cfg *bgp.OriginConfig,
 		MED:     uint32(cfg.MED),
 		HasMED:  cfg.MED != 0,
 	}
+	// The wire codec speaks classic 2-byte-ASN BGP-4; ASNs above 65535
+	// (which the engine supports) truncate here, as a real pre-RFC 6793
+	// speaker would mangle them.
 	for _, a := range pat {
 		u.ASPath = append(u.ASPath, uint16(a))
 	}

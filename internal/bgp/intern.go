@@ -48,11 +48,13 @@ func newArena() *arena {
 	}
 }
 
-// pathKey encodes p as 2 bytes per hop into buf (reused across calls).
+// pathKey encodes p as 4 bytes per hop into buf (reused across calls);
+// topo.ASN is 32-bit, so the key must carry the full width or distinct
+// paths above 65535 would alias.
 func pathKey(buf []byte, p topo.Path) []byte {
 	buf = buf[:0]
 	for _, a := range p {
-		buf = append(buf, byte(a>>8), byte(a))
+		buf = append(buf, byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
 	}
 	return buf
 }

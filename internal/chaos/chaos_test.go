@@ -69,7 +69,7 @@ func TestParseErrors(t *testing.T) {
 		"at 10s for 1m linkdown 1",
 		"at 10s for 1m loss 1 huh 3",
 		"at 10s for 1m blackhole 1 not-a-prefix",
-		"at 10s for 1m linkdown 99999999 2",
+		"at 10s for 1m linkdown 9999999999 2", // overflows 32-bit ASN space
 	} {
 		if _, err := Parse(bad); err == nil {
 			t.Errorf("Parse(%q) succeeded, want error", bad)

@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"net/netip"
+	"sort"
+	"testing"
+
+	"lifeguard/internal/nettest"
+	"lifeguard/internal/topo"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVocabularyMatchesParser pins the -list-faults contract: the published
+// vocabulary is sorted, stable, documented, and agrees with what the parser
+// actually accepts — one sample line per kind must parse to a fault of that
+// kind, and no two calls may disagree.
+func TestVocabularyMatchesParser(t *testing.T) {
+	vocab := Vocabulary()
+	if !sort.SliceIsSorted(vocab, func(i, j int) bool { return vocab[i].Kind < vocab[j].Kind }) {
+		t.Fatal("Vocabulary is not sorted by kind")
+	}
+	again := Vocabulary()
+	for i := range vocab {
+		if vocab[i] != again[i] {
+			t.Fatalf("Vocabulary not stable at %d: %+v vs %+v", i, vocab[i], again[i])
+		}
+	}
+	samples := map[string]string{
+		"blackhole":    "blackhole 30 10.10.0.0/16",
+		"crash":        "crash 70",
+		"crashcontrol": "crashcontrol 10",
+		"delay":        "delay 30 60 2s",
+		"forgedorigin": "forgedorigin 70 50 1.50.0.0/16",
+		"hijack":       "hijack 70 1.10.0.0/16",
+		"linkdown":     "linkdown 20 30",
+		"loss":         "loss 40 0.3 7",
+		"oneway":       "oneway 30 20",
+		"sessionreset": "sessionreset 40 50",
+		"subhijack":    "subhijack 70 1.10.240.0/24",
+	}
+	if len(samples) != len(vocab) {
+		t.Fatalf("vocabulary has %d kinds, samples cover %d", len(vocab), len(samples))
+	}
+	for _, d := range vocab {
+		line, ok := samples[d.Kind]
+		if !ok {
+			t.Fatalf("vocabulary kind %q has no parser sample", d.Kind)
+		}
+		if d.Usage == "" || d.Doc == "" {
+			t.Fatalf("vocabulary kind %q lacks usage or doc", d.Kind)
+		}
+		s, err := Parse("at 1s " + line)
+		if err != nil {
+			t.Fatalf("sample for %q does not parse: %v", d.Kind, err)
+		}
+		if got := s.Steps[0].Fault.Kind(); got != d.Kind {
+			t.Fatalf("sample for %q parsed as kind %q", d.Kind, got)
+		}
+	}
+}
+
+// TestOriginHijackCapturesAndReverts drives the exact-prefix hijack by hand
+// on Fig. 2: once rogue F originates O's block, ASes whose decision process
+// prefers the shorter rogue path (A, and E through it) divert; healing
+// restores the pre-attack routes.
+func TestOriginHijackCapturesAndReverts(t *testing.T) {
+	tgt, n := fig2Target(t)
+	victim := topo.Block(nettest.O)
+	f := &OriginHijack{Rogue: nettest.F, Prefix: victim}
+	if err := f.Validate(tgt); err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(tgt)
+	n.Converge(t)
+	r, ok := n.Eng.BestRoute(nettest.A, victim)
+	if !ok {
+		t.Fatal("A lost the route entirely")
+	}
+	if nh, _ := r.NextHop(); nh != nettest.F {
+		t.Fatalf("A was not captured: next hop %d, want %d (rogue)", nh, nettest.F)
+	}
+	f.Heal(tgt)
+	n.Converge(t)
+	r, ok = n.Eng.BestRoute(nettest.A, victim)
+	if !ok {
+		t.Fatal("A has no route after heal")
+	}
+	if nh, _ := r.NextHop(); nh != nettest.B {
+		t.Fatalf("A did not revert to the legitimate path: next hop %d, want %d", nh, nettest.B)
+	}
+}
+
+// TestForgedOriginLooksLegitimate pins the type-1 attack property: the
+// forged path's origin is the true owner, so captured ASes hold a route
+// whose origin check passes — only the fabricated rogue–victim adjacency
+// betrays it.
+func TestForgedOriginLooksLegitimate(t *testing.T) {
+	tgt, n := fig2Target(t)
+	victim := topo.Block(nettest.D)
+	f := &ForgedOrigin{Rogue: nettest.F, Victim: nettest.D, Prefix: victim}
+	if err := f.Validate(tgt); err != nil {
+		t.Fatal(err)
+	}
+	f.Inject(tgt)
+	n.Converge(t)
+	// A prefers its customer F's forged route over the provider path via E.
+	r, ok := n.Eng.BestRoute(nettest.A, victim)
+	if !ok {
+		t.Fatal("A lost the route")
+	}
+	if nh, _ := r.NextHop(); nh != nettest.F {
+		t.Fatalf("A was not captured by the forged route: next hop %d", nh)
+	}
+	if o, _ := r.Path.Origin(); o != nettest.D {
+		t.Fatalf("forged path origin = %d, want the victim %d (that is the point)", o, nettest.D)
+	}
+	if n.Top.Adjacent(nettest.F, nettest.D) {
+		t.Fatal("test topology changed: rogue and victim adjacent")
+	}
+	f.Heal(tgt)
+	n.Converge(t)
+}
+
+// TestHijackScriptZeroViolations runs all three hijack variants through the
+// full runner: healed attacks must leave no trace — baseline fingerprint,
+// reachability, and the origin-authenticity invariant all pass at the final
+// barrier. The mid-attack check exercises the active-fault barrier path
+// (loops and RIB sanity still hold during a hijack).
+func TestHijackScriptZeroViolations(t *testing.T) {
+	tgt, _ := fig2Target(t)
+	s, err := Parse(`
+at 1m for 10m hijack 70 1.10.0.0/16
+at 5m check
+at 15m for 10m subhijack 70 1.10.240.0/24
+at 30m for 10m forgedorigin 70 50 1.50.0.0/16
+at 50m check
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(tgt, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed() {
+		t.Fatalf("violations:\n%s", rep)
+	}
+	if rep.Injected != 3 || rep.Healed != 3 {
+		t.Fatalf("injected %d healed %d, want 3/3", rep.Injected, rep.Healed)
+	}
+}
+
+// TestUnhealedHijackTripsOriginAuth: a hijack the script never heals must
+// be flagged by the final barrier as both an unhealed fault and an
+// origin-authenticity violation — the invariant exists precisely to catch
+// hijacked state outliving a run.
+func TestUnhealedHijackTripsOriginAuth(t *testing.T) {
+	tgt, _ := fig2Target(t)
+	s, err := Parse("at 1m subhijack 70 1.10.240.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(tgt, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[Invariant]bool{}
+	for _, v := range rep.Violations {
+		got[v.Invariant] = true
+	}
+	if !got[InvUnhealed] {
+		t.Fatalf("missing %v violation:\n%s", InvUnhealed, rep)
+	}
+	if !got[InvOriginAuth] {
+		t.Fatalf("missing %v violation:\n%s", InvOriginAuth, rep)
+	}
+}
+
+// TestHijackValidation rejects ill-posed attacks before a run starts.
+func TestHijackValidation(t *testing.T) {
+	tgt, _ := fig2Target(t)
+	for name, f := range map[string]Fault{
+		"hijack of unowned prefix":      &OriginHijack{Rogue: nettest.F, Prefix: mustPrefix(t, "9.9.9.0/24")},
+		"self hijack":                   &OriginHijack{Rogue: nettest.O, Prefix: topo.Block(nettest.O)},
+		"subhijack of exact origin":     &SubPrefixHijack{Rogue: nettest.F, Prefix: topo.Block(nettest.O)},
+		"subhijack outside owned space": &SubPrefixHijack{Rogue: nettest.F, Prefix: mustPrefix(t, "9.9.9.0/24")},
+		"forged origin adjacent":        &ForgedOrigin{Rogue: nettest.F, Victim: nettest.A, Prefix: topo.Block(nettest.A)},
+		"forged origin wrong victim":    &ForgedOrigin{Rogue: nettest.F, Victim: nettest.D, Prefix: topo.Block(nettest.O)},
+		"unknown rogue":                 &OriginHijack{Rogue: 9999, Prefix: topo.Block(nettest.O)},
+	} {
+		if err := f.Validate(tgt); err == nil {
+			t.Errorf("%s: Validate succeeded, want error", name)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"net/netip"
+	"sort"
 	"time"
 
 	"lifeguard/internal/dataplane"
@@ -15,8 +16,9 @@ import (
 type Invariant string
 
 // The checked invariants. Loop and RIB checks run at every barrier;
-// baseline and reachability only when no fault is active (a healthy network
-// must look healthy); unhealed runs at the final barrier.
+// baseline, reachability, and origin authenticity only when no fault is
+// active (a healthy network must look healthy); unhealed runs at the final
+// barrier.
 const (
 	// InvForwardLoop: no AS-level forwarding loop in any LPM walk.
 	InvForwardLoop Invariant = "forward-loop"
@@ -33,6 +35,11 @@ const (
 	InvReachability Invariant = "sentinel-unreachable"
 	// InvUnhealed: no fault is still active when the run ends.
 	InvUnhealed Invariant = "unhealed-fault"
+	// InvOriginAuth: with all faults healed, every best route's origin is
+	// the AS that owned the covering prefix before chaos began — no
+	// lingering hijacked state (a rogue origin, or a forged path claiming
+	// the true origin) survives in any loc-RIB.
+	InvOriginAuth Invariant = "origin-hijacked"
 )
 
 // Violation is one invariant breach, stamped with the barrier's virtual
@@ -63,6 +70,98 @@ type checker struct {
 	reach      []ReachProbe
 	baseline   uint64
 	violations []Violation
+
+	// owners is the pre-chaos prefix→origin table for the origin-
+	// authenticity check, snapshotted at arm time; ownerPrefixes holds its
+	// keys most-specific-first so covering lookups are deterministic.
+	owners        map[netip.Prefix]topo.ASN
+	ownerPrefixes []netip.Prefix
+}
+
+// armOwners snapshots which AS legitimately originates which prefix, taken
+// over the converged pre-chaos network. A prefix originated by more than
+// one AS at arm time (anycast-style) has no single owner and is excluded
+// from the authenticity check.
+func (c *checker) armOwners() {
+	c.owners = make(map[netip.Prefix]topo.ASN)
+	ambiguous := make(map[netip.Prefix]bool)
+	for _, asn := range c.tgt.Top.ASNs() {
+		for _, o := range c.tgt.Eng.Origins(asn) {
+			if prev, dup := c.owners[o.Prefix]; dup && prev != asn {
+				ambiguous[o.Prefix] = true
+				continue
+			}
+			c.owners[o.Prefix] = asn
+		}
+	}
+	c.ownerPrefixes = c.ownerPrefixes[:0]
+	for p := range c.owners {
+		if ambiguous[p] {
+			delete(c.owners, p)
+			continue
+		}
+		c.ownerPrefixes = append(c.ownerPrefixes, p)
+	}
+	// Most-specific first, address as the tiebreak: ownerOf's first
+	// containing hit is then the longest covering owner.
+	sort.Slice(c.ownerPrefixes, func(i, j int) bool {
+		a, b := c.ownerPrefixes[i], c.ownerPrefixes[j]
+		if a.Bits() != b.Bits() {
+			return a.Bits() > b.Bits()
+		}
+		return a.Addr().Less(b.Addr())
+	})
+}
+
+// ownerOf resolves the legitimate origin for prefix p: an exact table hit,
+// else the owner of the longest covering less-specific (so an owner's own
+// de-aggregated more-specifics — the hijack responder's mitigation — count
+// as authentic). False when p falls under no owned space.
+func (c *checker) ownerOf(p netip.Prefix) (topo.ASN, bool) {
+	if asn, ok := c.owners[p]; ok {
+		return asn, true
+	}
+	for _, op := range c.ownerPrefixes {
+		if op.Bits() < p.Bits() && op.Contains(p.Addr()) {
+			return c.owners[op], true
+		}
+	}
+	return 0, false
+}
+
+// checkOriginAuth asserts origin authenticity over every loc-RIB: the AS a
+// best route says originated the prefix must be the arm-time owner. Run
+// only at zero-active-fault barriers — while a hijack fault is live the
+// whole point is that this property is broken.
+func (c *checker) checkOriginAuth() {
+	if c.owners == nil {
+		return
+	}
+	for _, asn := range c.tgt.Top.ASNs() {
+		sp := c.tgt.Eng.Speaker(asn)
+		for _, p := range sp.KnownPrefixes() {
+			r, ok := sp.Best(p)
+			if !ok {
+				continue
+			}
+			owner, ok := c.ownerOf(p)
+			if !ok {
+				continue
+			}
+			claimed := asn // originated routes claim the holder itself
+			if !r.Originated {
+				var okO bool
+				if claimed, okO = r.Path.Origin(); !okO {
+					continue // empty non-originated path: checkRIB's problem
+				}
+			}
+			if claimed != owner {
+				c.report(InvOriginAuth,
+					fmt.Sprintf("AS%d best route for %v claims origin AS%d, owner is AS%d (path %v)",
+						asn, p, claimed, owner, r.Path))
+			}
+		}
+	}
 }
 
 // fingerprint hashes every AS's loc-RIB — (asn, prefix, path) in the

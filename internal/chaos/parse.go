@@ -27,6 +27,9 @@ import (
 //	crashcontrol <originAS>
 //	delay <asA> <asB> <duration>
 //	blackhole <as> <dstPrefix>
+//	hijack <rogueAS> <prefix>
+//	subhijack <rogueAS> <moreSpecificPrefix>
+//	forgedorigin <rogueAS> <victimAS> <prefix>
 //
 // Parse(s.String()) reproduces s (canonical order); errors carry the
 // 1-based line number.
@@ -94,6 +97,7 @@ func parseFault(f []string) (Fault, error) {
 		"linkdown": 2, "oneway": 2, "loss": 3,
 		"sessionreset": 2, "crash": 1, "crashcontrol": 1,
 		"delay": 3, "blackhole": 2,
+		"hijack": 2, "subhijack": 2, "forgedorigin": 3,
 	}
 	n, ok := argc[kind]
 	if !ok {
@@ -152,6 +156,29 @@ func parseFault(f []string) (Fault, error) {
 			return nil, fmt.Errorf("bad prefix %q: %v", args[1], err)
 		}
 		return &BlackholeTowards{AS: asn, Dst: dst}, nil
+	case "hijack", "subhijack":
+		asn, err := parseASN(args[0])
+		if err != nil {
+			return nil, err
+		}
+		p, err := netip.ParsePrefix(args[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad prefix %q: %v", args[1], err)
+		}
+		if kind == "hijack" {
+			return &OriginHijack{Rogue: asn, Prefix: p}, nil
+		}
+		return &SubPrefixHijack{Rogue: asn, Prefix: p}, nil
+	case "forgedorigin":
+		rogue, victim, err := twoASNs(args[:2])
+		if err != nil {
+			return nil, err
+		}
+		p, err := netip.ParsePrefix(args[2])
+		if err != nil {
+			return nil, fmt.Errorf("bad prefix %q: %v", args[2], err)
+		}
+		return &ForgedOrigin{Rogue: rogue, Victim: victim, Prefix: p}, nil
 	}
 	panic("unreachable")
 }
@@ -165,7 +192,7 @@ func twoASNs(args []string) (a, b topo.ASN, err error) {
 }
 
 func parseASN(s string) (topo.ASN, error) {
-	n, err := strconv.ParseUint(s, 10, 16)
+	n, err := strconv.ParseUint(s, 10, 32)
 	if err != nil {
 		return 0, fmt.Errorf("bad ASN %q: %v", s, err)
 	}

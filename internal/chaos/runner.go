@@ -132,6 +132,7 @@ func (r *Runner) Run() (*Report, error) {
 		return nil, fmt.Errorf("chaos: control plane did not converge while arming")
 	}
 	r.chk.baseline = r.chk.fingerprint()
+	r.chk.armOwners()
 	rep.BaselineFingerprint = r.chk.baseline
 	r.tgt.journal("arm", obs.F("fingerprint", fmt.Sprintf("%016x", r.chk.baseline)))
 
@@ -202,9 +203,9 @@ func (r *Runner) Run() (*Report, error) {
 }
 
 // barrier drains the control plane and runs the invariant suite. Loop and
-// RIB checks always run; baseline and reachability only when the network
-// should be healthy (zero active faults); the unhealed check only at the
-// final barrier.
+// RIB checks always run; baseline, reachability, and origin authenticity
+// only when the network should be healthy (zero active faults); the
+// unhealed check only at the final barrier.
 func (r *Runner) barrier(final bool) {
 	r.barriers++
 	r.mBarrier.Inc()
@@ -230,6 +231,14 @@ func (r *Runner) barrier(final bool) {
 	if len(r.active) == 0 {
 		r.chk.checkBaseline()
 		r.chk.checkReach()
+	}
+	// Origin authenticity also runs at the final barrier even with faults
+	// still active: an unhealed hijack is exactly the "hijacked state
+	// outlives the run" condition the invariant exists to name (other
+	// unhealed fault kinds reroute or drop but never forge origins, so
+	// they cannot trip it).
+	if len(r.active) == 0 || final {
+		r.chk.checkOriginAuth()
 	}
 	r.tgt.journal("barrier",
 		obs.F("final", final),

@@ -1,0 +1,123 @@
+package remedy_test
+
+import (
+	"net/netip"
+	"testing"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/dataplane"
+	"lifeguard/internal/nettest"
+	"lifeguard/internal/topo"
+)
+
+func TestHalves(t *testing.T) {
+	for _, tc := range []struct {
+		in, lo, hi string
+		ok         bool
+	}{
+		{"1.10.0.0/16", "1.10.0.0/17", "1.10.128.0/17", true},
+		{"1.10.128.0/17", "1.10.128.0/18", "1.10.192.0/18", true},
+		{"10.0.0.0/8", "10.0.0.0/9", "10.128.0.0/9", true},
+		{"192.0.2.7/32", "", "", false},
+	} {
+		p := netip.MustParsePrefix(tc.in)
+		lo, hi, ok := remedy.Halves(p)
+		if ok != tc.ok {
+			t.Fatalf("Halves(%v): ok=%v, want %v", p, ok, tc.ok)
+		}
+		if !ok {
+			continue
+		}
+		if lo != netip.MustParsePrefix(tc.lo) || hi != netip.MustParsePrefix(tc.hi) {
+			t.Fatalf("Halves(%v) = %v, %v; want %v, %v", p, lo, hi, tc.lo, tc.hi)
+		}
+	}
+}
+
+// TestCounterAnnounceDeaggregates plays the ARTEMIS response to an
+// exact-prefix hijack on Fig. 2: rogue F originates O's block and captures
+// A; O counter-announces the two more-specific halves, and longest-prefix
+// match pulls the data plane back to O everywhere even though the hijacked
+// /16 route is still in A's RIB.
+func TestCounterAnnounceDeaggregates(t *testing.T) {
+	n := nettest.Fig2(t)
+	c := remedy.New(n.Eng, n.Prober, n.Clk, remedy.Config{Origin: nettest.O})
+	c.AnnounceBaseline()
+	n.Converge(t)
+
+	victim := topo.Block(nettest.O)
+	n.Eng.Announce(nettest.F, victim, bgp.OriginConfig{})
+	n.Converge(t)
+	probe := topo.Block(nettest.O).Addr().Next() // an address inside the hijacked block
+	res := n.Plane.Forward(n.Hub(nettest.A), dataplane.Packet{Dst: probe})
+	if res.Delivered() && res.LastAS == nettest.O {
+		t.Fatal("hijack had no effect; test premise broken")
+	}
+
+	lo, hi, ok := remedy.Halves(victim)
+	if !ok {
+		t.Fatalf("cannot split %v", victim)
+	}
+	c.CounterAnnounce(lo, 0)
+	c.CounterAnnounce(hi, 0)
+	n.Converge(t)
+	res = n.Plane.Forward(n.Hub(nettest.A), dataplane.Packet{Dst: probe})
+	if !res.Delivered() || res.LastAS != nettest.O {
+		t.Fatalf("de-aggregation did not recover A: %+v", res)
+	}
+	if got := len(c.Counters()); got != 2 {
+		t.Fatalf("tracking %d counter-announcements, want 2", got)
+	}
+
+	// The attack clears; withdrawing the counters returns the control
+	// plane to exactly the baseline announcements.
+	n.Eng.Withdraw(nettest.F, victim)
+	if got := c.WithdrawAllCounters(); got != 2 {
+		t.Fatalf("withdrew %d, want 2", got)
+	}
+	n.Converge(t)
+	if got := len(c.Counters()); got != 0 {
+		t.Fatalf("%d counter-announcements still tracked", got)
+	}
+	if _, ok := n.Eng.BestRoute(nettest.A, lo); ok {
+		t.Fatal("A still holds a route for the withdrawn half")
+	}
+	if c.WithdrawCounter(lo) {
+		t.Fatal("WithdrawCounter reported an untracked prefix as tracked")
+	}
+}
+
+// TestCounterAnnouncePoisoned covers the sub-prefix response: the hijacked
+// more-specific is re-announced at the same length with the rogue poisoned.
+// Recovery is partial by design — ASes nearer the rogue may keep preferring
+// it — which is exactly what the hijack experiment's fraction-recovered
+// metric measures.
+func TestCounterAnnouncePoisoned(t *testing.T) {
+	n := nettest.Fig2(t)
+	c := remedy.New(n.Eng, n.Prober, n.Clk, remedy.Config{Origin: nettest.O})
+	c.AnnounceBaseline()
+	n.Converge(t)
+
+	sub := netip.MustParsePrefix("1.10.240.0/24")
+	n.Eng.Announce(nettest.F, sub, bgp.OriginConfig{})
+	n.Converge(t)
+
+	ca := c.CounterAnnounce(sub, nettest.F)
+	if ca.Poisoned != nettest.F {
+		t.Fatalf("counter-announcement poisons %d, want %d", ca.Poisoned, nettest.F)
+	}
+	n.Converge(t)
+
+	// B hears the counter-announcement from its customer O and recovers.
+	r, ok := n.Eng.BestRoute(nettest.B, sub)
+	if !ok {
+		t.Fatal("B has no route for the contested sub-prefix")
+	}
+	if o, _ := r.Path.Origin(); o != nettest.O {
+		t.Fatalf("B's sub-prefix route originates at %d, want %d", o, nettest.O)
+	}
+	if !r.Path.Contains(nettest.F) {
+		t.Fatal("counter-announcement pattern does not carry the poison token")
+	}
+}

@@ -157,6 +157,7 @@ func All() []Experiment {
 		{"baselines", "traditional route-control techniques vs remote failures (§2.3)", single(baselines)},
 		{"chaos", "scripted fault timelines vs the repair loop, by intensity", chaosScenario},
 		{"multitenant", "per-tenant repair pipelines on a shared rig, by tenant count", multitenantScenario},
+		{"hijack", "hijack detection and auto-mitigation vs rogue placement", hijackScenario},
 	}
 }
 

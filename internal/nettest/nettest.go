@@ -79,9 +79,30 @@ const (
 // behind A.
 func Fig2(tb testing.TB) *Net {
 	tb.Helper()
+	return fig2(tb, nil)
+}
+
+// Fig2Unpoisonable is Fig. 2 with F's BGP loop detection disabled
+// (MaxOwnASOccurs = 0): F accepts paths containing its own ASN, so poison
+// tokens naming F have no effect on it — the Smith et al. case poisoning-
+// based defenses must fall back from.
+func Fig2Unpoisonable(tb testing.TB) *Net {
+	tb.Helper()
+	return fig2(tb, func(asn topo.ASN, as *topo.AS) {
+		if asn == F {
+			as.MaxOwnASOccurs = 0
+		}
+	})
+}
+
+func fig2(tb testing.TB, tweak func(topo.ASN, *topo.AS)) *Net {
+	tb.Helper()
 	b := topo.NewBuilder()
 	for _, asn := range []topo.ASN{O, B, A, C, D, E, F} {
-		b.AddAS(asn, "")
+		as := b.AddAS(asn, "")
+		if tweak != nil {
+			tweak(asn, as)
+		}
 		b.AddRouter(asn, "")
 	}
 	rel := [][2]topo.ASN{{O, B}, {B, A}, {B, C}, {C, D}, {A, E}, {D, E}, {F, A}}

@@ -20,8 +20,11 @@ import (
 
 const blockBase = 256 // AS n's block starts at octets (256+n)>>8, (256+n)&0xff
 
-// MaxASN is the largest ASN the address plan supports; the 256-block offset
-// (which keeps blocks out of 0.0.0.0/8) eats the top of the 16-bit space.
+// MaxASN is the largest ASN the address plan supports. The bound comes from
+// the plan itself — two octets encode 256+n, and the 256-block offset (which
+// keeps blocks out of 0.0.0.0/8) eats the top of that space — not from the
+// ASN type, which is 32-bit. ASes numbered above MaxASN can still route
+// (announce explicit prefixes, appear in paths) but own no derived block.
 const MaxASN ASN = 0xFFFF - blockBase
 
 // Block returns the /16 address block owned by asn.

@@ -11,10 +11,12 @@ import (
 	"sort"
 )
 
-// ASN identifies an autonomous system. The simulator supports 16-bit ASNs,
-// which bounds topologies at ~65k ASes — far beyond what any experiment in
-// the paper requires.
-type ASN uint16
+// ASN identifies an autonomous system. The simulator supports 32-bit ASNs
+// (RFC 6793), so control-plane studies can use the full modern numbering
+// space. The address plan in addr.go still derives /16 blocks from the low
+// 16 bits, so ASes above MaxASN participate in routing but own no address
+// block.
+type ASN uint32
 
 // RouterID indexes a router within a Topology.
 type RouterID uint32

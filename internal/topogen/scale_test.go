@@ -198,8 +198,9 @@ func TestLargeModeTransitPeering(t *testing.T) {
 	}
 }
 
-// TestMaxASesValidation: the ASN space is uint16 and the generator must
-// reject configurations that overflow it with a clear error.
+// TestMaxASesValidation: every generated AS owns an address block, so the
+// generator must reject configurations that overflow the address plan's
+// contiguous ASN range with a clear error (the ASN type itself is 32-bit).
 func TestMaxASesValidation(t *testing.T) {
 	_, err := Generate(Config{Seed: 1, NumTier1: 10, NumTransit: 30000, NumStub: 40000})
 	if err == nil || !strings.Contains(err.Error(), "exceeds") {

@@ -19,9 +19,11 @@ import (
 	"lifeguard/internal/topo"
 )
 
-// maxASes bounds generated topologies: ASNs are 16-bit (see topo.ASN) and
-// the generator allocates them contiguously from 1, keeping headroom for
-// callers that append experiment-specific ASes (GenerateWithOrigin).
+// maxASes bounds generated topologies: the generator allocates ASNs
+// contiguously from 1 and every AS owns an address block, so the address
+// plan's topo.MaxASN (not the 32-bit ASN type) is the binding constraint —
+// with headroom kept for callers that append experiment-specific ASes
+// (GenerateWithOrigin).
 const maxASes = 65000
 
 // Config controls generation. Zero values select defaults; the No* flags
@@ -107,7 +109,7 @@ func (c Config) withDefaults() Config {
 // failing AS is named in the diagnostic.
 func (c Config) validate() error {
 	if total := c.NumTier1 + c.NumTransit + c.NumStub; total > maxASes {
-		return fmt.Errorf("topogen: %d ASes exceeds the %d limit of 16-bit ASNs", total, maxASes)
+		return fmt.Errorf("topogen: %d ASes exceeds the %d limit of the address plan", total, maxASes)
 	}
 	return nil
 }

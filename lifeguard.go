@@ -85,6 +85,8 @@ type (
 	// ChaosReachProbe is a data-plane reachability assertion checked at
 	// all-healed chaos barriers.
 	ChaosReachProbe = chaos.ReachProbe
+	// ChaosFaultDoc documents one fault keyword of the script vocabulary.
+	ChaosFaultDoc = chaos.FaultDoc
 )
 
 // NewTopologyBuilder returns an empty topology builder.
@@ -111,6 +113,9 @@ var (
 	// GenerateChaosScript samples a seeded, outage-calibrated timeline
 	// for a topology.
 	GenerateChaosScript = chaos.GenerateScript
+	// ChaosVocabulary enumerates every fault keyword the script parser
+	// accepts, sorted, with one-line docs (`lgchaos -list-faults`).
+	ChaosVocabulary = chaos.Vocabulary
 )
 
 // Failure-rule constructors re-exported from the data plane.

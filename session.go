@@ -6,8 +6,10 @@ import (
 
 	"lifeguard/internal/atlas"
 	"lifeguard/internal/bgp"
+	"lifeguard/internal/collectors"
 	"lifeguard/internal/core/isolation"
 	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/hijack"
 	"lifeguard/internal/monitor"
 	"lifeguard/internal/obs"
 	"lifeguard/internal/simclock"
@@ -51,9 +53,36 @@ func (c FailsafeConfig) MaxDelay(interval time.Duration) time.Duration {
 	return time.Duration(c.MissedRounds)*interval + c.Grace
 }
 
+// HijackConfig enables the ARTEMIS-style hijack plane for a session: a
+// route-collector view feeding a detector, and (unless disabled) an
+// auto-responder that counter-announces and verifies recovery.
+type HijackConfig struct {
+	// Enable turns the hijack plane on. Off (the zero value), a session
+	// behaves exactly as before this subsystem existed.
+	Enable bool
+	// CollectorPeers are the ASes whose best-route streams the detector
+	// consumes — the RouteViews/RIS peer set. Default: the origin's
+	// providers.
+	CollectorPeers []ASN
+	// ScanInterval is the detection poll period. Default 10s.
+	ScanInterval time.Duration
+	// Vantages are the ASes whose data-plane view verifies mitigation;
+	// default the origin's providers.
+	Vantages []ASN
+	// VerifyInterval is the recovery-poll period. Default 30s.
+	VerifyInterval time.Duration
+	// DisableAutoMitigate makes the hijack plane detection-only: alarms
+	// are raised and journaled but nothing is counter-announced.
+	DisableAutoMitigate bool
+}
+
 // SessionConfig parameterizes one tenant's Session over a shared Rig.
 type SessionConfig struct {
 	Config
+
+	// Hijack enables and tunes the session's hijack detection/mitigation
+	// plane.
+	Hijack HijackConfig
 
 	// Tenant labels the session's obs partition and journal records.
 	// Defaults to "AS<origin>". The single-session compatibility System
@@ -86,6 +115,13 @@ type Session struct {
 	Monitor  *monitor.Monitor
 	Isolator *isolation.Isolator
 	Remedy   *remedy.Controller
+
+	// Collector, Hijack and HijackResponder form the session's hijack
+	// plane; all nil unless SessionConfig.Hijack.Enable was set
+	// (HijackResponder additionally nil under DisableAutoMitigate).
+	Collector       *collectors.Collector
+	Hijack          *hijack.Detector
+	HijackResponder *hijack.Responder
 
 	cfg SessionConfig
 
@@ -164,7 +200,62 @@ func newSession(n *Network, cfg SessionConfig) *Session {
 	s.Remedy.OnUnpoison = func(r *remedy.Repair) {
 		s.log(Event{At: n.Clk.Now(), Kind: EventUnpoison, Target: r.Victim, Avoided: r.Avoided})
 	}
+
+	if cfg.Hijack.Enable {
+		s.wireHijack()
+	}
 	return s
+}
+
+// wireHijack assembles the session's hijack plane: collector streams from
+// the configured peers, a detector checking them against an ownership table
+// snapshotted from the engine's pre-attack origins, and (unless detection-
+// only) a responder announcing through the session's remedy controller. The
+// detector's journal hook is installed before the responder chains onto
+// OnAlarm, so every alarm is journaled before mitigation reacts to it.
+func (s *Session) wireHijack() {
+	n := s.Net
+	hc := s.cfg.Hijack
+	peers := hc.CollectorPeers
+	if len(peers) == 0 {
+		peers = n.Top.Providers(s.cfg.Origin)
+	}
+	s.Collector = collectors.New(n.Eng, peers...)
+	s.Collector.Instrument(s.Obs)
+
+	tbl := hijack.TableFromEngine(n.Eng)
+	s.Hijack = hijack.NewDetector(s.Collector, n.Top, n.Clk, tbl,
+		hijack.DetectorConfig{Interval: hc.ScanInterval})
+	s.Hijack.Instrument(s.Obs)
+	s.Hijack.OnAlarm = func(a *hijack.Alarm) {
+		s.log(Event{At: n.Clk.Now(), Kind: EventHijackDetected, Alarm: a},
+			obs.F("class", a.Class), obs.F("prefix", a.Prefix),
+			obs.F("rogue", a.Rogue), obs.F("owner", a.Owner),
+			obs.F("latency", a.Latency))
+	}
+	s.Hijack.OnClear = func(a *hijack.Alarm) {
+		s.log(Event{At: n.Clk.Now(), Kind: EventHijackCleared, Alarm: a},
+			obs.F("class", a.Class), obs.F("prefix", a.Prefix),
+			obs.F("rogue", a.Rogue),
+			obs.F("active_for", a.ClearedAt-a.DetectedAt))
+	}
+
+	if hc.DisableAutoMitigate {
+		return
+	}
+	s.HijackResponder = hijack.NewResponder(s.Hijack, s.Remedy, n.Plane, hijack.ResponderConfig{
+		Owner:          s.cfg.Origin,
+		Vantages:       hc.Vantages,
+		VerifyInterval: hc.VerifyInterval,
+	})
+	s.HijackResponder.Instrument(s.Obs)
+	s.HijackResponder.OnMitigated = func(m *hijack.Mitigation) {
+		s.log(Event{At: n.Clk.Now(), Kind: EventHijackMitigated, Alarm: m.Alarm, Mitigation: m},
+			obs.F("class", m.Alarm.Class), obs.F("prefix", m.Alarm.Prefix),
+			obs.F("announced", len(m.Announced)), obs.F("poisoned", m.Poisoned),
+			obs.F("fallback", m.Fallback), obs.F("latency", m.Latency),
+			obs.F("recovered", m.Recovered), obs.F("vantages", m.Vantages))
+	}
 }
 
 // NewSession wires a standalone session over a network — the single-tenant
@@ -210,6 +301,9 @@ func (s *Session) Start() {
 	}
 	s.Atlas.Start()
 	s.Monitor.Start()
+	if s.Hijack != nil {
+		s.Hijack.Start()
+	}
 }
 
 // Stop halts monitoring, atlas refresh, and the failsafe watchdog — an
@@ -223,6 +317,9 @@ func (s *Session) Stop() {
 	s.started = false
 	s.Monitor.Stop()
 	s.Atlas.Stop()
+	if s.Hijack != nil {
+		s.Hijack.Stop()
+	}
 	s.Net.Clk.Cancel(s.watchdog)
 }
 
@@ -242,6 +339,12 @@ func (s *Session) CrashControl() {
 	s.crashed = true
 	s.Monitor.Stop()
 	s.Atlas.Stop()
+	if s.Hijack != nil {
+		// Detection pauses with the rest of the control plane; alarms
+		// raised before the crash stay raised and clear on the first scan
+		// after the restore.
+		s.Hijack.Stop()
+	}
 	s.Remedy.Suspend()
 	if s.cfg.NoGracefulRestart {
 		s.savedOrigins = s.Net.Eng.Origins(s.cfg.Origin)
@@ -281,6 +384,9 @@ func (s *Session) RestoreControl() {
 	if s.started {
 		s.Atlas.Start()
 		s.Monitor.Start()
+		if s.Hijack != nil {
+			s.Hijack.Start()
+		}
 	}
 }
 
@@ -333,8 +439,10 @@ func (s *Session) log(e Event, extra ...obs.Field) {
 			fields = append(fields, obs.F("tenant", s.cfg.Tenant))
 		}
 		switch e.Kind {
-		case EventControlCrash, EventControlRestore, EventFailsafeEnter, EventFailsafeExit:
-			// Lifecycle events carry no vp/target.
+		case EventControlCrash, EventControlRestore, EventFailsafeEnter, EventFailsafeExit,
+			EventHijackDetected, EventHijackMitigated, EventHijackCleared:
+			// Lifecycle and hijack events carry no vp/target (hijack
+			// records carry their own fields from the wiring site).
 		default:
 			fields = append(fields, obs.F("vp", e.VP), obs.F("target", e.Target))
 		}

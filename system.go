@@ -8,6 +8,7 @@ import (
 	"lifeguard/internal/atlas"
 	"lifeguard/internal/core/isolation"
 	"lifeguard/internal/core/remedy"
+	"lifeguard/internal/hijack"
 	"lifeguard/internal/monitor"
 )
 
@@ -48,6 +49,9 @@ const (
 	EventControlRestore
 	EventFailsafeEnter
 	EventFailsafeExit
+	EventHijackDetected
+	EventHijackMitigated
+	EventHijackCleared
 )
 
 // String names the event kind. Unknown values render as "eventkind(N)" —
@@ -73,6 +77,12 @@ func (k EventKind) String() string {
 		return "failsafe-enter"
 	case EventFailsafeExit:
 		return "failsafe-exit"
+	case EventHijackDetected:
+		return "hijack-detected"
+	case EventHijackMitigated:
+		return "hijack-mitigated"
+	case EventHijackCleared:
+		return "hijack-cleared"
 	default:
 		return fmt.Sprintf("eventkind(%d)", int(k))
 	}
@@ -92,6 +102,10 @@ type Event struct {
 	// Avoided is set for EventRepair/EventUnpoison when a poison was
 	// involved.
 	Avoided ASN
+	// Alarm is set for the hijack events (EventHijackDetected, -Mitigated,
+	// -Cleared); Mitigation additionally for EventHijackMitigated.
+	Alarm      *hijack.Alarm
+	Mitigation *hijack.Mitigation
 }
 
 // System is the single-tenant compatibility facade: one LIFEGUARD session
