@@ -8,7 +8,7 @@ GO      ?= go
 BIN     := bin
 LGLINT  := $(BIN)/lglint
 
-.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke hijack-smoke daemon-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke lglint lglint-bin clean
+.PHONY: all build test lint lint-fix-check lint-sarif race debug-test exp-smoke obs-smoke chaos-smoke hijack-smoke daemon-smoke traffic-smoke fuzz-smoke bench bench-smoke bench-all bench-scale bench-scale-smoke bench-traffic lglint lglint-bin clean
 
 all: build test lint
 
@@ -59,9 +59,11 @@ lint-sarif: lglint
 
 # The packages with real concurrency: the sharded engine's barrier workers,
 # the wire-level session FSM, the monitoring pipeline, and the parallel
-# trial runner (plus the experiments that fan out on it).
+# trial runner (plus the experiments that fan out on it). The dataplane
+# rides along to hold ForwardBatch to the intraPath aliasing contract
+# (cached paths are shared, read-only) under the detector.
 race:
-	$(GO) test -race ./internal/bgp/... ./internal/monitor/... ./internal/runner/... ./internal/experiments/...
+	$(GO) test -race ./internal/bgp/... ./internal/monitor/... ./internal/runner/... ./internal/experiments/... ./internal/dataplane/...
 
 # debug-test reruns the simulation-bearing packages with the simclockdebug
 # ownership assertion compiled in: any scheduler touched from two
@@ -145,6 +147,20 @@ daemon-smoke:
 	@grep -q '"metrics"' $(BIN)/daemon_smoke.out || { echo "daemon-smoke: no final snapshot on stdout"; exit 1; }
 	@echo "daemon-smoke: healthz+metrics served; clean SIGTERM exit with final snapshot"
 
+# traffic-smoke proves the traffic-at-scale dataplane's contracts end to
+# end: the user-seconds-lost experiment (a small flow population sharded
+# over destinations) must report zero invariant violations and produce a
+# byte-identical report sequentially and on 4 workers.
+traffic-smoke:
+	@mkdir -p $(BIN)
+	$(GO) build -o $(BIN)/lgexp ./cmd/lgexp
+	$(BIN)/lgexp -exp traffic -seed 1 -parallel 1 >$(BIN)/traffic_seq.txt
+	$(BIN)/lgexp -exp traffic -seed 1 -parallel 4 >$(BIN)/traffic_par.txt
+	diff $(BIN)/traffic_seq.txt $(BIN)/traffic_par.txt
+	@grep -q 'violations_total *0\.0000' $(BIN)/traffic_seq.txt || { echo "traffic-smoke: invariant violations"; exit 1; }
+	@grep -q 'user_seconds_saved_frac' $(BIN)/traffic_seq.txt
+	@echo "traffic-smoke: zero violations; report byte-identical across parallelism"
+
 # A quick fuzz pass over the BGP-4 wire codec; CI runs this on every push.
 fuzz-smoke:
 	$(GO) test -fuzz=Fuzz -fuzztime=30s ./internal/bgp/wire/
@@ -176,6 +192,12 @@ bench-scale:
 
 bench-scale-smoke:
 	$(GO) run ./cmd/lgbench -scale-smoke
+
+# bench-traffic measures the traffic-at-scale dataplane (1M modelled flows
+# through the batched and single-packet forwarding paths, plus the
+# user-seconds-lost experiment) and refreshes BENCH_pr10.json.
+bench-traffic:
+	$(GO) run ./cmd/lgbench -traffic -traffic-out BENCH_pr10.json
 
 clean:
 	rm -rf $(BIN)

@@ -1,0 +1,296 @@
+package dataplane
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lifeguard/internal/bgp"
+	"lifeguard/internal/obs"
+	"lifeguard/internal/simclock"
+	"lifeguard/internal/topo"
+	"lifeguard/internal/topogen"
+)
+
+// twinPlanes builds one converged ~60-AS internetwork and returns two
+// fresh planes over it, so a batched and a single-packet execution of the
+// same stream can be compared from identical starting states.
+func twinPlanes(t testing.TB) (*topogen.Result, *Plane, *Plane) {
+	t.Helper()
+	res, err := topogen.Generate(topogen.Config{Seed: 7, NumTransit: 12, NumStub: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := simclock.New()
+	eng := bgp.New(res.Top, clk, bgp.Config{Seed: 7})
+	for _, asn := range res.Top.ASNs() {
+		eng.Originate(asn, topo.Block(asn))
+	}
+	if !eng.Converge(500_000_000) {
+		t.Fatal("no convergence")
+	}
+	return res, New(res.Top, eng), New(res.Top, eng)
+}
+
+// batchStream builds a packet stream with heavy duplication (the flow-group
+// shape the traffic engine emits) plus TTL and source variants and an
+// unroutable destination, injected at the first stub's hub.
+func batchStream(res *topogen.Result) (topo.RouterID, []Packet) {
+	top := res.Top
+	from := top.AS(res.Stubs[0]).Routers[0]
+	var pkts []Packet
+	for i, s := range res.Stubs[1:] {
+		if i%3 != 0 {
+			continue
+		}
+		dst := top.Router(top.AS(s).Routers[0]).Addr
+		for c := 0; c < 5; c++ { // the duplicates the memo amortizes
+			pkts = append(pkts, Packet{Src: topo.ProductionAddr(res.Stubs[0]), Dst: dst})
+		}
+		pkts = append(pkts, Packet{Src: topo.RouterAddr(res.Stubs[0], 0), Dst: dst})
+		pkts = append(pkts, Packet{Src: topo.ProductionAddr(res.Stubs[0]), Dst: dst, TTL: 3})
+	}
+	pkts = append(pkts, Packet{Dst: topo.RouterAddr(200, 0)}) // NoRoute
+	return from, pkts
+}
+
+// installRules puts a representative deterministic rule mix on both planes:
+// an AS blackhole toward one prefix (the canonical reverse-path failure), a
+// directed link drop, and a source-scoped rule.
+func installRules(res *topogen.Result, planes ...*Plane) {
+	for _, pl := range planes {
+		pl.AddFailure(BlackholeASTowards(res.Transit[0], topo.Block(res.Stubs[4])))
+		pl.AddFailure(DropASLink(res.Transit[1], res.Transit[2]))
+		pl.AddFailure(Rule{AtAS: res.Transit[3], SrcWithin: topo.Block(res.Stubs[0])})
+	}
+}
+
+// TestForwardBatchEquivalence is the committed batching contract: a batch
+// produces results byte-identical to the same packets pushed one at a time
+// through Forward — same fates, same hop records, same obs counters, and
+// the same per-packet sequence numbering (proven by identical
+// probabilistic verdicts after the batch).
+func TestForwardBatchEquivalence(t *testing.T) {
+	res, single, batched := twinPlanes(t)
+	installRules(res, single, batched)
+	regS, regB := obs.New(), obs.New()
+	single.Instrument(regS)
+	batched.Instrument(regB)
+
+	from, pkts := batchStream(res)
+	want := make([]Result, 0, len(pkts))
+	for _, pkt := range pkts {
+		want = append(want, single.Forward(from, pkt))
+	}
+	got := batched.ForwardBatch(from, pkts, nil)
+
+	if len(got) != len(want) {
+		t.Fatalf("batch returned %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("packet %d: batch %+v, single %+v", i, got[i], want[i])
+		}
+	}
+	snapS, snapB := encodeSnapshot(t, regS), encodeSnapshot(t, regB)
+	if snapS != snapB {
+		t.Fatalf("obs counters diverge:\nsingle:\n%s\nbatch:\n%s", snapS, snapB)
+	}
+
+	// Sequence alignment: install the same fractional-loss rule on both
+	// planes and replay a stream. Verdicts hash (seed, per-packet seq), so
+	// any drift in the batch path's numbering shows up as different fates.
+	for _, pl := range []*Plane{single, batched} {
+		pl.AddFailure(LossyAS(res.Transit[0], 0.5, 42))
+	}
+	for i, pkt := range pkts {
+		s := single.Forward(from, pkt)
+		b := batched.Forward(from, pkt)
+		if s.Reason != b.Reason {
+			t.Fatalf("post-batch packet %d: seq drift (single %v, batch %v)", i, s.Reason, b.Reason)
+		}
+	}
+}
+
+// TestForwardBatchEquivalenceWithProbRules pins the memo stand-down: with a
+// fractional DropProb rule installed, batching must still match the
+// single-packet execution packet for packet (per-packet loss, not
+// per-group loss).
+func TestForwardBatchEquivalenceWithProbRules(t *testing.T) {
+	res, single, batched := twinPlanes(t)
+	for _, pl := range []*Plane{single, batched} {
+		pl.AddFailure(LossyAS(res.Transit[0], 0.4, 9))
+		pl.AddFailure(LossyAS(res.Transit[2], 0.2, 10))
+	}
+	from, pkts := batchStream(res)
+	want := make([]Result, 0, len(pkts))
+	for _, pkt := range pkts {
+		want = append(want, single.Forward(from, pkt))
+	}
+	got := batched.ForwardBatch(from, pkts, nil)
+	delivered := 0
+	for i := range want {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			t.Fatalf("packet %d: batch %+v, single %+v", i, got[i], want[i])
+		}
+		if want[i].Delivered() {
+			delivered++
+		}
+	}
+	if delivered == 0 || delivered == len(want) {
+		t.Fatalf("loss rule not exercised: %d/%d delivered", delivered, len(want))
+	}
+}
+
+// TestForwardBatchReusesResultBuffer pins the recycling contract: passing
+// the previous call's slice back in appends from its start without
+// reallocating when capacity suffices.
+func TestForwardBatchReusesResultBuffer(t *testing.T) {
+	res, _, pl := twinPlanes(t)
+	from, pkts := batchStream(res)
+	buf := pl.ForwardBatch(from, pkts, nil)
+	first := &buf[0]
+	buf2 := pl.ForwardBatch(from, pkts, buf[:0])
+	if len(buf2) != len(pkts) {
+		t.Fatalf("recycled batch returned %d results, want %d", len(buf2), len(pkts))
+	}
+	if &buf2[0] != first {
+		t.Fatal("recycled buffer was reallocated despite sufficient capacity")
+	}
+}
+
+// encodeSnapshot renders a registry snapshot as its canonical Prometheus
+// text, the byte-comparison form the obs tests use.
+func encodeSnapshot(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := reg.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestIntraPathAliasingContract pins the dataplane.go intraPath contract:
+// the returned slice aliases the path cache (no defensive copy), so
+// callers — ForwardBatch's walks included — must never mutate it. The test
+// proves both halves: the cache really does hand out one backing array,
+// and heavy batched forwarding leaves the cached contents untouched.
+func TestIntraPathAliasingContract(t *testing.T) {
+	res, _, pl := twinPlanes(t)
+	from, pkts := batchStream(res)
+
+	// Warm the cache, snapshot every cached path.
+	pl.ForwardBatch(from, pkts, nil)
+	if len(pl.pathCache) == 0 {
+		t.Fatal("no intra-AS paths cached")
+	}
+	type snap struct {
+		alias []topo.RouterID
+		copy  []topo.RouterID
+	}
+	snaps := make(map[[2]topo.RouterID]snap, len(pl.pathCache))
+	for key, p := range pl.pathCache {
+		snaps[key] = snap{alias: p, copy: append([]topo.RouterID(nil), p...)}
+	}
+
+	// Re-querying returns the same backing array, not a copy.
+	for key, s := range snaps {
+		if len(s.alias) == 0 {
+			continue
+		}
+		again := pl.intraPath(key[0], key[1])
+		if &again[0] != &s.alias[0] {
+			t.Fatalf("intraPath(%v) returned a copy; the contract is aliasing", key)
+		}
+	}
+
+	// Batched forwarding only reads the cached paths.
+	for i := 0; i < 10; i++ {
+		pl.ForwardBatch(from, pkts, nil)
+	}
+	for key, s := range snaps {
+		if !reflect.DeepEqual(s.alias, s.copy) {
+			t.Fatalf("ForwardBatch mutated cached intraPath(%v): %v, was %v", key, s.alias, s.copy)
+		}
+	}
+}
+
+// TestDropCountersCoverEveryReason guards the drops-by-reason counter
+// array against enum growth: every named DropReason must have a registered
+// counter after Instrument. The reason count is discovered dynamically
+// from the String fallback, so appending a reason without growing the
+// planeObs array (or naming it) fails here instead of silently
+// undercounting.
+func TestDropCountersCoverEveryReason(t *testing.T) {
+	n := 0
+	for DropReason(n).String() != fmt.Sprintf("dropreason(%d)", n) {
+		n++
+		if n > 64 {
+			t.Fatal("DropReason fallback never reached; String is broken")
+		}
+	}
+	if n < int(ForwardLoop)+1 {
+		t.Fatalf("only %d named reasons but ForwardLoop is %d", n, ForwardLoop)
+	}
+	if len([ForwardLoop + 1]*obs.Counter{}) != n {
+		t.Fatalf("planeObs drops array holds %d slots but %d reasons are named; "+
+			"grow the array (and Instrument's loop) with the enum", int(ForwardLoop)+1, n)
+	}
+
+	_, _, pl := twinPlanes(t)
+	reg := obs.New()
+	pl.Instrument(reg)
+	if pl.obs.drops[Delivered] != nil {
+		t.Fatal("Delivered slot must stay nil (delivery is not a drop)")
+	}
+	for r := NoRoute; int(r) < n; r++ {
+		if pl.obs.drops[r] == nil {
+			t.Fatalf("reason %v (%d) has no registered drop counter", r, int(r))
+		}
+	}
+}
+
+// TestDropReasonStringRoundTrip mirrors the EventKind.String contract:
+// every defined reason has a unique stable name and unknown values render
+// as "dropreason(N)".
+func TestDropReasonStringRoundTrip(t *testing.T) {
+	all := []DropReason{Delivered, NoRoute, Blackhole, TTLExpired, ForwardLoop}
+	seen := make(map[string]DropReason, len(all))
+	for _, r := range all {
+		s := r.String()
+		if s == "" || strings.HasPrefix(s, "dropreason(") {
+			t.Fatalf("reason %d has no proper name: %q", int(r), s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("reasons %d and %d share the name %q", int(prev), int(r), s)
+		}
+		seen[s] = r
+	}
+	if next := ForwardLoop + 1; next.String() != "dropreason(5)" {
+		t.Fatalf("first unknown reason renders %q, want dropreason(5)", next.String())
+	}
+	for _, r := range []DropReason{17, -2} {
+		want := fmt.Sprintf("dropreason(%d)", int(r))
+		if got := r.String(); got != want {
+			t.Fatalf("DropReason(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+// TestResultString covers the one-line fate rendering.
+func TestResultString(t *testing.T) {
+	if got := (&Result{}).String(); got != "delivered" {
+		t.Fatalf("empty result renders %q", got)
+	}
+	r := &Result{
+		Reason:     Blackhole,
+		Hops:       []Hop{{Router: 1, AS: 1}, {Router: 7, AS: 2}},
+		LastAS:     2,
+		LastRouter: 7,
+	}
+	want := "blackhole at AS2 (router 7) after 2 hops"
+	if got := r.String(); got != want {
+		t.Fatalf("Result.String() = %q, want %q", got, want)
+	}
+}

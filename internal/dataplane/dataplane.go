@@ -22,20 +22,29 @@ type RIB interface {
 	Lookup(asn topo.ASN, addr netip.Addr) (*bgp.Route, bool)
 }
 
-// Reason explains why a packet stopped.
-type Reason int
+// DropReason explains why a packet stopped.
+type DropReason int
 
-// Packet outcomes.
+// Reason is the historical name of DropReason, kept for callers predating
+// the traffic subsystem.
+type Reason = DropReason
+
+// Packet outcomes. New reasons are appended — the numeric values of
+// existing reasons are part of the accounting compatibility surface, and
+// the drops-by-reason counter array in planeObs must grow with the enum
+// (TestDropCountersCoverEveryReason pins that).
 const (
-	Delivered Reason = iota
-	NoRoute          // an on-path AS had no route to the destination
-	Blackhole        // matched a failure rule
+	Delivered DropReason = iota
+	NoRoute              // an on-path AS had no route to the destination
+	Blackhole            // matched a failure rule
 	TTLExpired
 	ForwardLoop // forwarding loop guard (beyond TTL accounting)
 )
 
-// String names the reason.
-func (r Reason) String() string {
+// String names the reason. Unknown values render as "dropreason(N)" —
+// stable across enum growth, so forward-compatible consumers can log them
+// without aliasing distinct unknown reasons to one string.
+func (r DropReason) String() string {
 	switch r {
 	case Delivered:
 		return "delivered"
@@ -48,7 +57,7 @@ func (r Reason) String() string {
 	case ForwardLoop:
 		return "forward-loop"
 	default:
-		return "unknown"
+		return fmt.Sprintf("dropreason(%d)", int(r))
 	}
 }
 
@@ -73,7 +82,7 @@ type Hop struct {
 // Result reports a packet's fate. Hops lists every router traversed, in
 // order, up to and including the router where the packet stopped.
 type Result struct {
-	Reason Reason
+	Reason DropReason
 	Hops   []Hop
 	// LastAS/LastRouter locate where the packet stopped (delivery router
 	// for Delivered, drop point otherwise). Valid when len(Hops) > 0.
@@ -83,6 +92,16 @@ type Result struct {
 
 // Delivered reports whether the packet reached its destination.
 func (r *Result) Delivered() bool { return r.Reason == Delivered }
+
+// String renders the fate on one line: the reason, where the packet
+// stopped, and how many hops it took to get there.
+func (r *Result) String() string {
+	if len(r.Hops) == 0 {
+		return r.Reason.String()
+	}
+	return fmt.Sprintf("%s at AS%d (router %d) after %d hops",
+		r.Reason, r.LastAS, r.LastRouter, len(r.Hops))
+}
 
 // ASPath returns the distinct ASes traversed, in order.
 func (r *Result) ASPath() topo.Path {
@@ -182,6 +201,8 @@ type Plane struct {
 	// runs once per pair for the lifetime of the plane. The simulation
 	// core is single-goroutine, like the engine it consults.
 	pathCache map[[2]topo.RouterID][]topo.RouterID
+	// batch is ForwardBatch's per-call scratch (see batch.go).
+	batch batchState
 
 	obs planeObs
 }

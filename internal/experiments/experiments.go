@@ -158,6 +158,7 @@ func All() []Experiment {
 		{"chaos", "scripted fault timelines vs the repair loop, by intensity", chaosScenario},
 		{"multitenant", "per-tenant repair pipelines on a shared rig, by tenant count", multitenantScenario},
 		{"hijack", "hijack detection and auto-mitigation vs rogue placement", hijackScenario},
+		{"traffic", "user-seconds lost through outage→repair, with and without LIFEGUARD", trafficScenario},
 	}
 }
 

@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
+
+	"lifeguard/internal/runner"
 )
 
 // The experiment tests assert the paper's qualitative shape — who wins, by
@@ -172,6 +175,38 @@ func TestChaosShape(t *testing.T) {
 	inRange(t, r, "ttr_mean_min", 0.5, 10)
 }
 
+func TestTrafficShape(t *testing.T) {
+	r := Traffic(1)
+	// The hard contracts: a clean timeline (no invariant violations) and
+	// the headline contrast — the armed repair loop forfeits strictly
+	// fewer user-seconds than waiting out the same fault.
+	inRange(t, r, "violations_total", 0, 0)
+	inRange(t, r, "flows_total", trafficFlows, trafficFlows)
+	inRange(t, r, "poisons_total", 1, 10)
+	lost := r.Values["user_seconds_lost_norepair"]
+	saved := r.Values["user_seconds_lost_repair"]
+	if lost <= 0 {
+		t.Fatalf("the 20-minute blackhole cost nothing without repair (%v)", lost)
+	}
+	if saved >= lost {
+		t.Fatalf("repair saved nothing: %v with vs %v without", saved, lost)
+	}
+	inRange(t, r, "user_seconds_saved_frac", 0.3, 1.0)
+	inRange(t, r, "availability_repair", r.Values["availability_norepair"], 1.0)
+}
+
+func TestTrafficParallelIdentical(t *testing.T) {
+	e, _ := ByID("traffic")
+	seq := e.Run(2).String()
+	par, err := e.RunParallel(context.Background(), 2, runner.Config{Parallelism: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != par.String() {
+		t.Fatalf("traffic report differs sequential vs parallel:\n%s\n---\n%s", seq, par.String())
+	}
+}
+
 func TestMultitenantShape(t *testing.T) {
 	r := Multitenant(1)
 	// Every placed tenant detects its own failure, and most repair it
@@ -240,8 +275,11 @@ func TestByID(t *testing.T) {
 	if _, ok := ByID("chaos"); !ok {
 		t.Fatal("chaos missing")
 	}
-	if len(All()) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(All()))
+	if _, ok := ByID("traffic"); !ok {
+		t.Fatal("traffic missing")
+	}
+	if len(All()) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(All()))
 	}
 }
 

@@ -123,6 +123,10 @@ type Session struct {
 	Hijack          *hijack.Detector
 	HijackResponder *hijack.Responder
 
+	// Traffic is the session's flow-population generator; nil until
+	// AttachTraffic wires one.
+	Traffic *TrafficGenerator
+
 	cfg SessionConfig
 
 	// History records everything the session did.
